@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/assembly"
+	"repro/internal/components"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// Re-exported configuration and result types of the experiment harness.
+type (
+	// CaseStudyConfig configures an end-to-end run of the paper's
+	// application (assembly + simulated machine).
+	CaseStudyConfig = harness.CaseStudyConfig
+	// CaseStudyResult carries the profiles, records, call trace, density
+	// image and wiring diagram of one run.
+	CaseStudyResult = harness.CaseStudyResult
+	// SweepConfig drives the Figs. 4-8 kernel measurement campaign.
+	SweepConfig = harness.SweepConfig
+	// SweepResult holds the campaign's proxy-recorded samples.
+	SweepResult = harness.SweepResult
+	// ComponentModel is a fitted Eq. 1/Eq. 2 performance model.
+	ComponentModel = harness.ComponentModel
+	// Kernel selects one of the three measured components.
+	Kernel = harness.Kernel
+	// AppConfig assembles the component application.
+	AppConfig = components.AppConfig
+	// WorldConfig describes the simulated parallel machine.
+	WorldConfig = mpi.WorldConfig
+	// Model is a fitted performance model (polynomial or power law).
+	Model = perfmodel.Model
+	// Dual is the application's composite-model graph (Fig. 10).
+	Dual = assembly.Dual
+	// Optimizer selects among component implementations by predicted cost
+	// under a Quality-of-Service floor.
+	Optimizer = assembly.Optimizer
+)
+
+// Measured kernels.
+const (
+	KernelStates  = harness.KernelStates
+	KernelGodunov = harness.KernelGodunov
+	KernelEFM     = harness.KernelEFM
+)
+
+// DefaultCaseStudy returns the calibrated paper configuration (3 ranks,
+// 3-level SAMR hierarchy, Godunov flux, monitored).
+func DefaultCaseStudy() CaseStudyConfig { return harness.DefaultCaseStudy() }
+
+// RunCaseStudy executes the assembled application and gathers per-rank
+// measurements.
+func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
+	return harness.RunCaseStudy(cfg)
+}
+
+// DefaultSweep returns the calibrated Figs. 4-8 sweep for a kernel.
+func DefaultSweep(k Kernel) SweepConfig { return harness.DefaultSweep(k) }
+
+// RunSweep measures a kernel through the full PMM stack over a size sweep.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) { return harness.RunSweep(cfg) }
+
+// FitModels performs the paper's Section 5 regression analysis on a sweep.
+func FitModels(s *SweepResult) (*ComponentModel, error) { return harness.FitModels(s) }
+
+// WriteModelReport prints the paper-vs-measured Eq. 1/Eq. 2 comparison.
+func WriteModelReport(w io.Writer, cm *ComponentModel) error {
+	return harness.WriteModelReport(w, cm)
+}
+
+// BuildDual constructs the Fig. 10 composite-model graph from a case-study
+// call trace and fitted models.
+func BuildDual(res *CaseStudyResult, models map[Kernel]*ComponentModel) *Dual {
+	return harness.BuildDual(res, models)
+}
+
+// FluxSlot builds the paper's GodunovFlux-vs-EFMFlux implementation choice
+// for the optimizer.
+func FluxSlot(vertex string, godunov, efm *ComponentModel) assembly.Slot {
+	return harness.FluxSlot(vertex, godunov, efm)
+}

@@ -1,0 +1,256 @@
+// Command figures regenerates the data behind every figure of the paper's
+// evaluation (Section 5):
+//
+//	fig1  density snapshot of the shock/interface run        -> fig1.pgm
+//	fig2  component assembly wiring diagram                  -> fig2.dot
+//	fig3  FUNCTION SUMMARY (mean) profile                    -> fig3.txt
+//	fig4  States sequential vs strided scatter               -> fig4.csv
+//	fig5  strided/sequential ratio vs array size             -> fig5.csv
+//	fig6  States mean/sigma vs Q with fits (Eq. 1/2)         -> fig6.csv fig6_model.txt
+//	fig7  GodunovFlux mean/sigma vs Q with fits              -> fig7.csv fig7_model.txt
+//	fig8  EFMFlux mean/sigma vs Q with fits                  -> fig8.csv fig8_model.txt
+//	fig9  per-level ghost-update communication times         -> fig9.csv
+//	fig10 composite-model dual graph + assembly optimization -> fig10.dot fig10.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/assembly"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1..10 or all")
+		outDir = flag.String("out", "figures", "output directory")
+		procs  = flag.Int("procs", 3, "simulated ranks")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		reps   = flag.Int("reps", 4, "sweep repetitions per size and mode")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	g := &generator{outDir: *outDir, procs: *procs, seed: *seed, reps: *reps}
+
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+	if want("1") || want("2") || want("3") || want("9") || want("10") {
+		if err := g.runCaseStudy(); err != nil {
+			fatal(err)
+		}
+	}
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"1", g.fig1}, {"2", g.fig2}, {"3", g.fig3},
+		{"4", g.fig45}, {"5", func() error { return nil }}, // fig5 written with fig4
+		{"6", func() error { return g.figModel(harness.KernelStates, "fig6") }},
+		{"7", func() error { return g.figModel(harness.KernelGodunov, "fig7") }},
+		{"8", func() error { return g.figModel(harness.KernelEFM, "fig8") }},
+		{"9", g.fig9}, {"10", g.fig10},
+	}
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		if err := s.run(); err != nil {
+			fatal(fmt.Errorf("fig%s: %w", s.name, err))
+		}
+		fmt.Printf("fig%s done\n", s.name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+type generator struct {
+	outDir string
+	procs  int
+	seed   int64
+	reps   int
+
+	caseRes *harness.CaseStudyResult
+	sweeps  map[harness.Kernel]*harness.SweepResult
+	models  map[harness.Kernel]*harness.ComponentModel
+}
+
+func (g *generator) runCaseStudy() error {
+	cfg := harness.DefaultCaseStudy()
+	cfg.World.Procs = g.procs
+	cfg.World.Seed = g.seed
+	res, err := harness.RunCaseStudy(cfg)
+	if err != nil {
+		return err
+	}
+	g.caseRes = res
+	return nil
+}
+
+func (g *generator) sweep(k harness.Kernel) (*harness.SweepResult, error) {
+	if g.sweeps == nil {
+		g.sweeps = map[harness.Kernel]*harness.SweepResult{}
+	}
+	if s, ok := g.sweeps[k]; ok {
+		return s, nil
+	}
+	cfg := harness.DefaultSweep(k)
+	cfg.World.Procs = g.procs
+	cfg.World.Seed = g.seed
+	cfg.Reps = g.reps
+	s, err := harness.RunSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.sweeps[k] = s
+	return s, nil
+}
+
+func (g *generator) model(k harness.Kernel) (*harness.ComponentModel, error) {
+	if g.models == nil {
+		g.models = map[harness.Kernel]*harness.ComponentModel{}
+	}
+	if m, ok := g.models[k]; ok {
+		return m, nil
+	}
+	s, err := g.sweep(k)
+	if err != nil {
+		return nil, err
+	}
+	m, err := harness.FitModels(s)
+	if err != nil {
+		return nil, err
+	}
+	g.models[k] = m
+	return m, nil
+}
+
+func (g *generator) write(name string, fn func(f io.Writer) error) error {
+	f, err := os.Create(filepath.Join(g.outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func (g *generator) fig1() error {
+	return g.write("fig1.pgm", g.caseRes.WritePGM)
+}
+
+func (g *generator) fig2() error {
+	return g.write("fig2.dot", func(f io.Writer) error {
+		_, err := io.WriteString(f, g.caseRes.AssemblyDOT)
+		return err
+	})
+}
+
+func (g *generator) fig3() error {
+	return g.write("fig3.txt", g.caseRes.WriteProfile)
+}
+
+func (g *generator) fig45() error {
+	s, err := g.sweep(harness.KernelStates)
+	if err != nil {
+		return err
+	}
+	if err := g.write("fig4.csv", s.WriteScatterCSV); err != nil {
+		return err
+	}
+	return g.write("fig5.csv", s.WriteRatiosCSV)
+}
+
+func (g *generator) figModel(k harness.Kernel, name string) error {
+	m, err := g.model(k)
+	if err != nil {
+		return err
+	}
+	if err := g.write(name+".csv", func(f io.Writer) error {
+		return harness.WriteMeanSigmaCSV(f, m)
+	}); err != nil {
+		return err
+	}
+	return g.write(name+"_model.txt", func(f io.Writer) error {
+		return harness.WriteModelReport(f, m)
+	})
+}
+
+func (g *generator) fig9() error {
+	return g.write("fig9.csv", g.caseRes.WriteGhostCommCSV)
+}
+
+func (g *generator) fig10() error {
+	god, err := g.model(harness.KernelGodunov)
+	if err != nil {
+		return err
+	}
+	efm, err := g.model(harness.KernelEFM)
+	if err != nil {
+		return err
+	}
+	if _, err := g.model(harness.KernelStates); err != nil {
+		return err
+	}
+	dual := harness.BuildDual(g.caseRes, g.models)
+	if err := g.write("fig10.dot", func(f io.Writer) error {
+		return dual.WriteDOT(f, "application-dual")
+	}); err != nil {
+		return err
+	}
+	return g.write("fig10.txt", func(f io.Writer) error {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "composite model cost: %.0f us\n\n", dual.Cost())
+		opt := &assembly.Optimizer{
+			Dual:  dual,
+			Slots: []assembly.Slot{harness.FluxSlot("g_proxy", god, efm)},
+		}
+		best, ranking, err := opt.Optimize()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "assembly optimization over flux implementations:\n")
+		for _, r := range ranking {
+			fmt.Fprintf(&sb, "  %-12s cost %12.0f us  (min QoS %.2f)\n",
+				r.Choice["g_proxy"], r.Cost, r.MinQoS)
+		}
+		fmt.Fprintf(&sb, "performance-optimal: %s\n", best.Choice["g_proxy"])
+		opt.MinQoS = 0.9
+		bestQ, _, err := opt.Optimize()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "with QoS >= 0.9 (scientists' accuracy floor): %s\n\n", bestQ.Choice["g_proxy"])
+
+		// Crossover study: the optimal flux as the production problem size
+		// grows ("EFMFlux has better characteristics ... especially for
+		// large arrays", paper Section 5).
+		fmt.Fprintf(&sb, "optimal flux vs workload size (model-guided):\n")
+		for _, q := range []float64{200, 1_000, 10_000, 100_000} {
+			trial := harness.BuildDual(g.caseRes, g.models)
+			for _, name := range []string{"g_proxy", "sc_proxy", "efm_proxy"} {
+				if v := trial.Vertex(name); v != nil {
+					nv := *v
+					nv.Q = q
+					trial.AddVertex(nv)
+				}
+			}
+			o2 := &assembly.Optimizer{Dual: trial,
+				Slots: []assembly.Slot{harness.FluxSlot("g_proxy", god, efm)}}
+			b2, _, err := o2.Optimize()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&sb, "  Q=%7.0f -> %-12s (cost %12.0f us)\n", q, b2.Choice["g_proxy"], b2.Cost)
+		}
+		_, err = io.WriteString(f, sb.String())
+		return err
+	})
+}

@@ -1,0 +1,131 @@
+// Command pmmcase runs the paper's case study end to end on the simulated
+// platform: the CCA component application (SAMR shock/interface simulation)
+// with the PMM infrastructure interposed, printing the Fig. 3 FUNCTION
+// SUMMARY and, optionally, the fitted Eq. 1/Eq. 2 performance models and
+// the record dumps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/components"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		procs   = flag.Int("procs", 3, "number of simulated ranks")
+		steps   = flag.Int("steps", 0, "coarse time steps (0 = default)")
+		baseNx  = flag.Int("nx", 0, "base grid x cells (0 = default)")
+		baseNy  = flag.Int("ny", 0, "base grid y cells (0 = default)")
+		flux    = flag.String("flux", "godunov", "flux implementation: godunov | efm")
+		models  = flag.Bool("models", false, "run the kernel sweeps and print Eq. 1/2 fits")
+		records = flag.Bool("records", false, "dump the Mastermind records (CSV)")
+		cacheSt = flag.Bool("cachestudy", false, "refit the States model under 128kB/512kB/1MB caches and fit the cache-aware T(Q,DCM) model (paper Section 6 outlook)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultCaseStudy()
+	cfg.World.Procs = *procs
+	cfg.World.Seed = *seed
+	if *steps > 0 {
+		cfg.App.Driver.Steps = *steps
+	}
+	if *baseNx > 0 {
+		cfg.App.Mesh.BaseNx = *baseNx
+	}
+	if *baseNy > 0 {
+		cfg.App.Mesh.BaseNy = *baseNy
+	}
+	switch *flux {
+	case "godunov":
+		cfg.App.Flux = components.Godunov
+	case "efm":
+		cfg.App.Flux = components.EFM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -flux %q\n", *flux)
+		os.Exit(2)
+	}
+
+	res, err := harness.RunCaseStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("case study: %d ranks, %d coarse steps, t=%.4f, flux=%s\n",
+		*procs, res.StepsTaken, res.SimTime, cfg.App.Flux)
+	for lev, st := range res.Stats {
+		fmt.Printf("  level %d: %3d patches, %7d cells\n", lev, st.Patches, st.Cells)
+	}
+	fmt.Println()
+	if err := res.WriteProfile(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *records {
+		fmt.Println()
+		for _, rec := range res.Records[0] {
+			if err := rec.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *cacheSt {
+		fmt.Println()
+		scfg := harness.DefaultSweep(harness.KernelStates)
+		scfg.World.Procs = *procs
+		scfg.World.Seed = *seed
+		scfg.Reps = 2
+		pts, err := harness.RunCacheStudy(scfg, []int{128, 512, 1024})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteCacheStudy(os.Stdout, harness.KernelStates, pts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sw, err := harness.RunSweep(scfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ml, r2Aware, r2Plain, err := harness.CacheAwareFit(sw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cache-aware model (512 kB): T = %s\n", ml)
+		fmt.Printf("  R2 with DCM folded in: %.4f   (Q-only linear: %.4f)\n", r2Aware, r2Plain)
+	}
+
+	if *models {
+		fmt.Println()
+		for _, k := range []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM} {
+			scfg := harness.DefaultSweep(k)
+			scfg.World.Procs = *procs
+			scfg.World.Seed = *seed
+			sw, err := harness.RunSweep(scfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cm, err := harness.FitModels(sw)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := harness.WriteModelReport(os.Stdout, cm); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}

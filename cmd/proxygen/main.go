@@ -1,0 +1,102 @@
+// Command proxygen generates CCA proxy-component source from a port
+// specification — the automation the paper anticipates in Sections 4.2 and
+// 6 ("it is not difficult to envision proxy creation being fully
+// automated... we are currently investigating simple mark-up approaches
+// identifying arguments/parameters which affect performance and need to be
+// extracted and recorded").
+//
+// The specification is a JSON file marking up, per forwarded method, the
+// performance-relevant parameters to extract:
+//
+//	{
+//	  "package": "myproxies",
+//	  "name": "StatesProxy",
+//	  "portType": "StatesPort",
+//	  "portInterface": "components.StatesPort",
+//	  "providesName": "states",
+//	  "imports": ["repro/internal/components", "repro/internal/euler"],
+//	  "methods": [
+//	    {
+//	      "name": "Compute",
+//	      "signature": "b *euler.Block, dir euler.Dir, qL, qR *euler.EdgeField",
+//	      "args": "b, dir, qL, qR",
+//	      "results": "",
+//	      "params": [
+//	        {"name": "Q", "expr": "float64(b.Cells())"},
+//	        {"name": "mode", "expr": "float64(dir)"}
+//	      ]
+//	    }
+//	  ]
+//	}
+//
+// Usage: proxygen -spec spec.json [-o out.go]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	spec := flag.String("spec", "", "path to the proxy specification (JSON)")
+	out := flag.String("o", "", "output file (default stdout)")
+	example := flag.Bool("example", false, "print an example specification and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Print(exampleSpec)
+		return
+	}
+	if *spec == "" {
+		fmt.Fprintln(os.Stderr, "proxygen: -spec is required (see -example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		fatal(fmt.Errorf("proxygen: parsing %s: %w", *spec, err))
+	}
+	src, err := Generate(&s)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+const exampleSpec = `{
+  "package": "myproxies",
+  "name": "StatesProxy",
+  "portType": "StatesPort",
+  "portInterface": "components.StatesPort",
+  "providesName": "states",
+  "imports": ["repro/internal/components", "repro/internal/euler"],
+  "methods": [
+    {
+      "name": "Compute",
+      "signature": "b *euler.Block, dir euler.Dir, qL, qR *euler.EdgeField",
+      "args": "b, dir, qL, qR",
+      "results": "",
+      "params": [
+        {"name": "Q", "expr": "float64(b.Cells())"},
+        {"name": "mode", "expr": "float64(dir)"}
+      ]
+    }
+  ]
+}
+`

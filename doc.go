@@ -1,0 +1,25 @@
+// Package repro is a Go reproduction of "Performance Measurement and
+// Modeling of Component Applications in a High Performance Computing
+// Environment: A Case Study" (Ray, Trebon, Armstrong, Shende, Malony;
+// IPDPS/PMEO 2004, SAND2003-8631).
+//
+// The repository implements the paper's full stack from scratch:
+//
+//   - a CCA component framework in the style of CCAFFEINE (ports, services,
+//     assembly scripts, SCMD parallel execution);
+//   - an MPI-1 subset running P simulated ranks over goroutines with
+//     deterministic virtual clocks;
+//   - a TAU-style measurement library (timers, groups, events, hardware
+//     counters, profile dumps);
+//   - the paper's PMM infrastructure: proxies, the Mastermind, per-invocation
+//     records, call-trace capture;
+//   - the scientific case study: a structured-AMR simulation of a Mach 1.5
+//     shock hitting an Air/Freon interface, built from States,
+//     EFMFlux/GodunovFlux, RK2, AMRMesh and ShockDriver components;
+//   - regression-based performance models (Eqs. 1-2) and the composite-model
+//     dual graph with implementation-choice optimization (Fig. 10).
+//
+// This package is the facade: it re-exports the experiment harness that
+// regenerates every figure of the paper's evaluation. The underlying
+// packages live in internal/.
+package repro

@@ -1,0 +1,87 @@
+// Assemblyopt demonstrates the paper's end goal (Section 6 / Fig. 10):
+// measure the components, fit their performance models, build the
+// application's dual graph from the recorded call trace, and let the
+// composite model choose between the GodunovFlux and EFMFlux
+// implementations — with and without the scientists' accuracy (QoS) floor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/assembly"
+)
+
+func main() {
+	// 1. Run the application once to obtain the wiring + call trace.
+	caseCfg := repro.DefaultCaseStudy()
+	caseCfg.App.Mesh.BaseNx, caseCfg.App.Mesh.BaseNy = 48, 12
+	caseCfg.App.Mesh.TileNx, caseCfg.App.Mesh.TileNy = 12, 6
+	caseCfg.App.Driver.Steps = 8
+	fmt.Println("running case study to record the call trace...")
+	res, err := repro.RunCaseStudy(caseCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Measure each component over a size sweep and fit Eq. 1 models.
+	models := map[repro.Kernel]*repro.ComponentModel{}
+	for _, k := range []repro.Kernel{repro.KernelStates, repro.KernelGodunov, repro.KernelEFM} {
+		fmt.Printf("sweeping %s...\n", k)
+		scfg := repro.DefaultSweep(k)
+		scfg.Reps = 2
+		scfg.World.Procs = 2
+		sw, err := repro.RunSweep(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cm, err := repro.FitModels(sw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models[k] = cm
+		fmt.Printf("  fitted mean model: T = %s\n", cm.Mean)
+	}
+
+	// 3. Build the dual and print it.
+	dual := repro.BuildDual(res, models)
+	fmt.Println("\napplication dual (Fig. 10):")
+	if err := dual.WriteDOT(os.Stdout, "dual"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Optimize the assembly at a production problem size.
+	for _, q := range []float64{1_000, 100_000} {
+		trial := repro.BuildDual(res, models)
+		for _, name := range []string{"g_proxy", "sc_proxy"} {
+			if v := trial.Vertex(name); v != nil {
+				nv := *v
+				nv.Q = q
+				trial.AddVertex(nv)
+			}
+		}
+		opt := &repro.Optimizer{
+			Dual:  trial,
+			Slots: []assembly.Slot{repro.FluxSlot("g_proxy", models[repro.KernelGodunov], models[repro.KernelEFM])},
+		}
+		best, ranking, err := opt.Optimize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nworkload Q=%.0f:\n", q)
+		for _, r := range ranking {
+			fmt.Printf("  %-12s predicted cost %12.0f us (QoS %.2f)\n",
+				r.Choice["g_proxy"], r.Cost, r.MinQoS)
+		}
+		fmt.Printf("  performance-optimal: %s\n", best.Choice["g_proxy"])
+
+		opt.MinQoS = 0.9 // the scientists insist on Godunov-grade accuracy
+		bestQoS, _, err := opt.Optimize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  with QoS >= 0.9:     %s\n", bestQoS.Choice["g_proxy"])
+	}
+}

@@ -1,0 +1,57 @@
+// Modelfit reproduces the paper's Section 5 regression analysis (Eqs. 1-2)
+// for one component: sweep the kernel through its proxy over array sizes up
+// to ~150k elements in both access modes, group the samples by size, fit
+// the paper's functional forms, and print the paper-vs-measured comparison
+// plus the Fig. 6/7/8 data series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/harness"
+)
+
+func main() {
+	kernel := flag.String("kernel", "states", "kernel to model: states | godunov | efm")
+	reps := flag.Int("reps", 3, "repetitions per size, mode and aspect")
+	flag.Parse()
+
+	var k repro.Kernel
+	switch *kernel {
+	case "states":
+		k = repro.KernelStates
+	case "godunov":
+		k = repro.KernelGodunov
+	case "efm":
+		k = repro.KernelEFM
+	default:
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	cfg := repro.DefaultSweep(k)
+	cfg.Reps = *reps
+	fmt.Printf("sweeping %s over %d sizes x %d reps on %d ranks...\n",
+		k, len(cfg.Sizes), cfg.Reps, cfg.World.Procs)
+	sw, err := repro.RunSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d monitored invocations\n\n", len(sw.Points))
+
+	cm, err := repro.FitModels(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.WriteModelReport(os.Stdout, cm); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-size mean/sigma series (Fig. 6/7/8 ordinates):")
+	if err := harness.WriteMeanSigmaCSV(os.Stdout, cm); err != nil {
+		log.Fatal(err)
+	}
+}

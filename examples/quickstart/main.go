@@ -1,0 +1,54 @@
+// Quickstart: assemble the paper's component application with the PMM
+// infrastructure interposed, run a small shock/interface simulation on one
+// simulated rank, and print the TAU FUNCTION SUMMARY plus a few Mastermind
+// records — the smallest end-to-end tour of the reproduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultCaseStudy()
+	// Shrink everything: one rank, a small grid, a few steps.
+	cfg.World.Procs = 1
+	cfg.App.Mesh.BaseNx, cfg.App.Mesh.BaseNy = 48, 12
+	cfg.App.Mesh.TileNx, cfg.App.Mesh.TileNy = 24, 12
+	cfg.App.Driver.Steps = 6
+
+	res, err := repro.RunCaseStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d coarse steps to t=%.4f\n", res.StepsTaken, res.SimTime)
+	for lev, st := range res.Stats {
+		fmt.Printf("  level %d: %d patches, %d cells\n", lev, st.Patches, st.Cells)
+	}
+	fmt.Println()
+
+	// The Fig. 3-style profile.
+	if err := res.WriteProfile(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// A taste of the records the Mastermind gathered for model fitting.
+	fmt.Println()
+	rec := res.Record(0, "sc_proxy::compute()")
+	if rec == nil {
+		log.Fatal("no States records")
+	}
+	fmt.Printf("sc_proxy::compute() was monitored %d times; first three invocations:\n",
+		len(rec.Invocations))
+	for i := 0; i < 3 && i < len(rec.Invocations); i++ {
+		inv := rec.Invocations[i]
+		q, _ := inv.Param("Q")
+		mode, _ := inv.Param("mode")
+		fmt.Printf("  Q=%5.0f mode=%.0f wall=%8.2f us compute=%8.2f us\n",
+			q, mode, inv.WallUS, inv.ComputeUS)
+	}
+}

@@ -1,0 +1,216 @@
+// Package cache implements a set-associative, write-allocate cache simulator
+// with true-LRU replacement and a bulk stream-access API.
+//
+// The simulator stands in for the hardware performance counters (PAPI/PCL)
+// used by the paper: kernels feed their actual memory-access streams through
+// the simulator, which accounts hits and misses; the platform's CPU model
+// converts those counts into virtual time. The default configuration mirrors
+// the paper's testbed (dual 2.8 GHz Pentium Xeon, 512 kB L2, 64 B lines).
+package cache
+
+import "fmt"
+
+// Config describes the geometry of a simulated cache.
+type Config struct {
+	// SizeBytes is the total capacity of the cache in bytes.
+	SizeBytes int
+	// LineBytes is the cache-line size in bytes. Must be a power of two.
+	LineBytes int
+	// Assoc is the number of ways per set. Assoc == 1 is a direct-mapped
+	// cache; Assoc == SizeBytes/LineBytes is fully associative.
+	Assoc int
+}
+
+// XeonL2 returns the configuration of the paper testbed's L2 cache:
+// 512 kB, 8-way set associative, 64-byte lines.
+func XeonL2() Config {
+	return Config{SizeBytes: 512 * 1024, LineBytes: 64, Assoc: 8}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / c.LineBytes / c.Assoc }
+
+// Stats holds cumulative access counters, in the style of PAPI event counts.
+type Stats struct {
+	// Accesses is the total number of data accesses (PAPI_L2_DCA analog).
+	Accesses uint64
+	// Hits is the number of accesses satisfied by the cache.
+	Hits uint64
+	// Misses is the number of accesses that required a line fill
+	// (PAPI_L2_DCM analog).
+	Misses uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a simulated set-associative cache. It is not safe for concurrent
+// use; in the SCMD model each simulated rank owns a private Cache.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	// ways holds, per set, the resident line IDs in LRU order
+	// (index 0 = most recently used). A zero entry means "empty" and is
+	// disambiguated by the valid bitmask.
+	ways  []uint64
+	valid []bool
+	assoc int
+	stats Stats
+}
+
+// New constructs a cache simulator for the given geometry.
+// It panics if the configuration is invalid, as a cache is always
+// constructed from static, programmer-chosen parameters.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		ways:      make([]uint64, sets*cfg.Assoc),
+		valid:     make([]bool, sets*cfg.Assoc),
+		assoc:     cfg.Assoc,
+	}
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line and leaves the counters untouched.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// accessLine looks up (and on miss, fills) the given line ID,
+// maintaining LRU order. It reports whether the access hit.
+func (c *Cache) accessLine(line uint64) bool {
+	set := int(line&c.setMask) * c.assoc
+	ways := c.ways[set : set+c.assoc]
+	valid := c.valid[set : set+c.assoc]
+	for i := 0; i < c.assoc; i++ {
+		if valid[i] && ways[i] == line {
+			// Move to MRU position.
+			copy(ways[1:i+1], ways[0:i])
+			ways[0] = line
+			return true
+		}
+	}
+	// Miss: evict LRU (last way), shift, insert at MRU.
+	copy(ways[1:], ways[:c.assoc-1])
+	copy(valid[1:], valid[:c.assoc-1])
+	ways[0] = line
+	valid[0] = true
+	return false
+}
+
+// Access simulates a single data access at the given virtual byte address
+// and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	if c.accessLine(addr >> c.lineShift) {
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// AccessRange simulates n accesses starting at base with the given byte
+// stride between consecutive accesses, and returns the hit and miss counts
+// for this stream. Consecutive accesses that fall on the same line as the
+// previous access are counted as hits without a directory lookup, which is
+// exact for monotone streams.
+func (c *Cache) AccessRange(base uint64, n, strideBytes int) (hits, misses uint64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	lastLine := ^uint64(0)
+	addr := base
+	for i := 0; i < n; i++ {
+		line := addr >> c.lineShift
+		if line == lastLine {
+			hits++
+		} else {
+			lastLine = line
+			if c.accessLine(line) {
+				hits++
+			} else {
+				misses++
+			}
+		}
+		addr += uint64(strideBytes)
+	}
+	c.stats.Accesses += uint64(n)
+	c.stats.Hits += hits
+	c.stats.Misses += misses
+	return hits, misses
+}
+
+// Touch loads the [base, base+bytes) range sequentially, warming the cache.
+// It is the write-allocate analog of initializing an array.
+func (c *Cache) Touch(base uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	n := (bytes + c.cfg.LineBytes - 1) / c.cfg.LineBytes
+	c.AccessRange(base, n, c.cfg.LineBytes)
+}
+
+// Resident reports whether the line containing addr is currently cached,
+// without affecting LRU order or counters.
+func (c *Cache) Resident(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		if c.valid[set+i] && c.ways[set+i] == line {
+			return true
+		}
+	}
+	return false
+}

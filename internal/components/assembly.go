@@ -1,0 +1,173 @@
+package components
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/amr"
+	"repro/internal/cca"
+	"repro/internal/core"
+)
+
+// FluxChoice selects the InviscidFlux implementation — the paper's
+// Quality-of-Service substitution point.
+type FluxChoice int
+
+// Flux implementations.
+const (
+	// Godunov is the accurate, expensive exact-Riemann flux (the
+	// scientists' preference; the paper's main profile used it).
+	Godunov FluxChoice = iota
+	// EFM is the cheap, low-variance kinetic flux.
+	EFM
+)
+
+// String names the choice.
+func (fc FluxChoice) String() string {
+	if fc == EFM {
+		return "EFM"
+	}
+	return "Godunov"
+}
+
+// fluxClassAndProxy maps the choice to component class and proxy instance
+// names (matching the paper's g_proxy / efm_proxy labels).
+func (fc FluxChoice) fluxClassAndProxy() (class, proxyName string) {
+	if fc == EFM {
+		return "EFMFlux", "efm_proxy"
+	}
+	return "GodunovFlux", "g_proxy"
+}
+
+// AppConfig assembles the case-study application.
+type AppConfig struct {
+	// Mesh configures the SAMR hierarchy.
+	Mesh amr.Config
+	// Driver configures the main loop.
+	Driver DriverConfig
+	// Flux picks the flux implementation.
+	Flux FluxChoice
+	// Monitor interposes the proxies and PMM components; switching it off
+	// gives the bare assembly (the proxy-overhead ablation).
+	Monitor bool
+}
+
+// DefaultAppConfig returns the paper's case-study setup (Godunov flux,
+// monitored).
+func DefaultAppConfig() AppConfig {
+	return AppConfig{
+		Mesh:    amr.DefaultConfig(),
+		Driver:  DefaultDriverConfig(),
+		Flux:    Godunov,
+		Monitor: true,
+	}
+}
+
+// App holds one rank's assembled application with handles into the
+// components the harness inspects after the run.
+type App struct {
+	Config     AppConfig
+	Framework  *cca.Framework
+	Driver     *ShockDriver
+	Mesh       *AMRMesh
+	Mastermind *Mastermind
+}
+
+// Records returns the rank's monitoring records (nil when unmonitored).
+func (a *App) Records() []*core.Record {
+	if a.Mastermind == nil || a.Mastermind.mm == nil {
+		return nil
+	}
+	return a.Mastermind.Core().Records()
+}
+
+// Core returns the rank's core Mastermind (nil when unmonitored).
+func (a *App) Core() *core.Mastermind {
+	if a.Mastermind == nil {
+		return nil
+	}
+	return a.Mastermind.Core()
+}
+
+// AssemblyScript renders the CCAFFEINE assembly script for the
+// configuration (without the final "go" line): the textual form of Fig. 2.
+func AssemblyScript(cfg AppConfig) string {
+	fluxClass, fluxProxy := cfg.Flux.fluxClassAndProxy()
+	var b strings.Builder
+	b.WriteString("# case-study assembly (paper Fig. 2)\n")
+	fmt.Fprintf(&b, "instantiate AMRMesh amrmesh0\n")
+	fmt.Fprintf(&b, "instantiate States states0\n")
+	fmt.Fprintf(&b, "instantiate %s flux0\n", fluxClass)
+	fmt.Fprintf(&b, "instantiate InviscidFlux inviscidflux0\n")
+	fmt.Fprintf(&b, "instantiate RK2 rk20\n")
+	fmt.Fprintf(&b, "instantiate ShockDriver driver\n")
+	if cfg.Monitor {
+		fmt.Fprintf(&b, "instantiate TauMeasurement tau0\n")
+		fmt.Fprintf(&b, "instantiate Mastermind mastermind0\n")
+		fmt.Fprintf(&b, "instantiate StatesProxy sc_proxy\n")
+		fmt.Fprintf(&b, "instantiate FluxProxy %s\n", fluxProxy)
+		fmt.Fprintf(&b, "instantiate MeshProxy icc_proxy\n")
+		fmt.Fprintf(&b, "connect mastermind0 measurement tau0 measurement\n")
+		fmt.Fprintf(&b, "connect sc_proxy target states0 states\n")
+		fmt.Fprintf(&b, "connect sc_proxy monitor mastermind0 monitor\n")
+		fmt.Fprintf(&b, "connect %s target flux0 flux\n", fluxProxy)
+		fmt.Fprintf(&b, "connect %s monitor mastermind0 monitor\n", fluxProxy)
+		fmt.Fprintf(&b, "connect icc_proxy target amrmesh0 mesh\n")
+		fmt.Fprintf(&b, "connect icc_proxy monitor mastermind0 monitor\n")
+		fmt.Fprintf(&b, "connect inviscidflux0 states sc_proxy states\n")
+		fmt.Fprintf(&b, "connect inviscidflux0 flux %s flux\n", fluxProxy)
+		fmt.Fprintf(&b, "connect rk20 mesh icc_proxy mesh\n")
+		fmt.Fprintf(&b, "connect driver mesh icc_proxy mesh\n")
+	} else {
+		fmt.Fprintf(&b, "connect inviscidflux0 states states0 states\n")
+		fmt.Fprintf(&b, "connect inviscidflux0 flux flux0 flux\n")
+		fmt.Fprintf(&b, "connect rk20 mesh amrmesh0 mesh\n")
+		fmt.Fprintf(&b, "connect driver mesh amrmesh0 mesh\n")
+	}
+	fmt.Fprintf(&b, "connect rk20 inviscidflux inviscidflux0 inviscidflux\n")
+	fmt.Fprintf(&b, "connect driver integrator rk20 integrator\n")
+	return b.String()
+}
+
+// RegisterClasses populates the framework's class repository, capturing the
+// app handles as instances are created.
+func RegisterClasses(f *cca.Framework, cfg AppConfig, app *App) {
+	f.RegisterClass("AMRMesh", func() cca.Component {
+		c := &AMRMesh{cfg: cfg.Mesh}
+		app.Mesh = c
+		return c
+	})
+	f.RegisterClass("States", NewStates)
+	f.RegisterClass("EFMFlux", NewEFMFlux)
+	f.RegisterClass("GodunovFlux", NewGodunovFlux)
+	f.RegisterClass("InviscidFlux", NewInviscidFlux)
+	f.RegisterClass("RK2", NewRK2)
+	f.RegisterClass("ShockDriver", func() cca.Component {
+		c := &ShockDriver{cfg: cfg.Driver}
+		app.Driver = c
+		return c
+	})
+	f.RegisterClass("TauMeasurement", NewTauMeasurement)
+	f.RegisterClass("Mastermind", func() cca.Component {
+		c := &Mastermind{}
+		app.Mastermind = c
+		return c
+	})
+	f.RegisterClass("StatesProxy", NewStatesProxy)
+	f.RegisterClass("FluxProxy", NewFluxProxy)
+	f.RegisterClass("MeshProxy", NewMeshProxy)
+}
+
+// BuildApp registers the classes and runs the assembly script, returning
+// the handles. The application has not started: call app.Go().
+func BuildApp(f *cca.Framework, cfg AppConfig) (*App, error) {
+	app := &App{Config: cfg, Framework: f}
+	RegisterClasses(f, cfg, app)
+	if err := f.RunScript(AssemblyScript(cfg)); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// Go starts the assembled application through the framework.
+func (a *App) Go() error { return a.Framework.Go("driver", "go") }

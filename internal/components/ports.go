@@ -1,0 +1,111 @@
+// Package components implements the paper's case-study application (Fig. 2)
+// as CCA components: ShockDriver orchestrating the simulation, AMRMesh
+// managing the SAMR patches (and all message passing), RK2 driving the
+// recursive level processing, InviscidFlux composing the per-patch flux
+// evaluation out of the States and EFMFlux/GodunovFlux components, plus the
+// PMM components — TauMeasurement, Mastermind, and the proxies (sc_proxy,
+// g_proxy / efm_proxy, icc_proxy) interposed between InviscidFlux/RK2 and
+// the components they monitor.
+package components
+
+import (
+	"repro/internal/amr"
+	"repro/internal/cca"
+	"repro/internal/euler"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+// Port type identifiers used by the assembly's type checking.
+const (
+	TypeStatesPort       = "StatesPort"
+	TypeFluxPort         = "FluxPort"
+	TypeMeshPort         = "MeshPort"
+	TypeIntegratorPort   = "IntegratorPort"
+	TypeInviscidFluxPort = "InviscidFluxPort"
+	TypeMonitorPort      = "MonitorPort"
+	TypeMeasurementPort  = "MeasurementPort"
+	TypeGoPort           = "GoPort"
+)
+
+// StatesPort computes limited left/right interface states for a patch along
+// one sweep direction — the paper's States component functionality, with
+// its two (sequential/strided) operating modes.
+type StatesPort interface {
+	Compute(b *euler.Block, dir euler.Dir, qL, qR *euler.EdgeField)
+}
+
+// FluxPort computes interface fluxes from reconstructed states. EFMFlux and
+// GodunovFlux are interchangeable implementations (the paper's
+// Quality-of-Service choice). It returns the kernel's internal iteration
+// count (zero for non-iterative kernels).
+type FluxPort interface {
+	Compute(qL, qR, flux *euler.EdgeField) int
+}
+
+// InviscidFluxPort assembles a patch's X and Y interface fluxes by invoking
+// States and a flux component patch by patch.
+type InviscidFluxPort interface {
+	PatchFluxes(b *euler.Block, fx, fy *euler.EdgeField)
+}
+
+// MeshPort is the AMRMesh component's interface: hierarchy management,
+// ghost updates, regridding, load balancing and inter-level transfer.
+type MeshPort interface {
+	// Initialize builds the hierarchy (collective; call after MPI_Init).
+	Initialize() error
+	// NumLevels, Ratio and LevelPatchCount describe the (replicated)
+	// hierarchy structure.
+	NumLevels() int
+	Ratio() int
+	LevelPatchCount(level int) int
+	// LocalPatches lists this rank's patches at a level.
+	LocalPatches(level int) []amr.PatchRef
+	// CellSize returns the level's mesh spacing.
+	CellSize(level int) (dx, dy float64)
+	// GhostUpdate fills ghost cells at a level (the MPI-heavy call).
+	GhostUpdate(level int)
+	// Regrid rebuilds the refined levels from fresh flags.
+	Regrid()
+	// LoadBalance redistributes patches; returns how many moved.
+	LoadBalance() int
+	// Restrict projects a fine level onto its parent level.
+	Restrict(fineLevel int)
+	// GlobalMaxWaveSpeed reduces the CFL wave speed across ranks.
+	GlobalMaxWaveSpeed() float64
+	// Imbalance is max/mean per-rank load (1 = balanced).
+	Imbalance() float64
+	// Stats returns per-level patch/cell counts.
+	Stats() []amr.LevelStats
+	// DensityImage composes the density field at finest resolution.
+	DensityImage() (nx, ny int, img []float64)
+}
+
+// IntegratorPort advances one level (and, recursively, its finer levels)
+// by dt — the RK2 component.
+type IntegratorPort interface {
+	Advance(level int, dt float64)
+}
+
+// procOf returns the platform processor behind a component's services, or
+// nil in serial assemblies (or unit tests that bypass the framework).
+func procOf(svc cca.Services) *platform.Proc {
+	if svc == nil {
+		return nil
+	}
+	if ctx := svc.Context(); ctx != nil {
+		return ctx.Proc
+	}
+	return nil
+}
+
+// commOf returns the component's world communicator, or nil.
+func commOf(svc cca.Services) *mpi.Comm {
+	if svc == nil {
+		return nil
+	}
+	if ctx := svc.Context(); ctx != nil {
+		return ctx.Comm
+	}
+	return nil
+}

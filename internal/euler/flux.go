@@ -1,0 +1,266 @@
+package euler
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// efmFlopsPerFace approximates the floating-point work of one EFM face:
+// two one-sided kinetic flux evaluations, each dominated by an erf and an
+// exp (costed as multi-flop library calls, as PAPI would count them).
+const efmFlopsPerFace = 150
+
+// godunovBaseFlops and godunovIterFlops cost the exact Riemann solver:
+// a fixed setup plus Newton iterations whose count is data-dependent —
+// the source of GodunovFlux's growing timing variability (Fig. 7).
+const (
+	godunovBaseFlops = 160
+	godunovIterFlops = 110
+)
+
+// checkFaceGeom validates that the three edge fields agree.
+func checkFaceGeom(qL, qR, flux *EdgeField) {
+	if qL.Dir != qR.Dir || qL.Dir != flux.Dir ||
+		qL.NxCells != qR.NxCells || qL.NxCells != flux.NxCells ||
+		qL.NyCells != qR.NyCells || qL.NyCells != flux.NyCells {
+		panic("euler: flux edge-field geometry mismatch")
+	}
+}
+
+// forEachFace visits every face of e in its directional sweep order
+// (rows for X, columns for Y).
+func forEachFace(e *EdgeField, visit func(f, t int)) {
+	if e.Dir == X {
+		for j := 0; j < e.NyCells; j++ {
+			for f := 0; f <= e.NxCells; f++ {
+				visit(f, j)
+			}
+		}
+	} else {
+		for i := 0; i < e.NxCells; i++ {
+			for f := 0; f <= e.NyCells; f++ {
+				visit(f, i)
+			}
+		}
+	}
+}
+
+// chargeFluxKernel accounts the memory traffic of a flux kernel: read both
+// state fields, write the flux field, interleaved per row/column as the
+// kernel walks the faces. overlapped marks kernels whose dense independent
+// arithmetic hides strided-miss latency (EFM, per Fig. 8's
+// near-mode-independent timings).
+func chargeFluxKernel(proc *platform.Proc, qL, qR, flux *EdgeField, overlapped bool) {
+	if proc == nil {
+		return
+	}
+	nt := flux.NyCells
+	if flux.Dir == Y {
+		nt = flux.NxCells
+	}
+	for t := 0; t < nt; t++ {
+		for v := 0; v < NVars; v++ {
+			qL.chargeLineSegment(proc, v, t, overlapped)
+			qR.chargeLineSegment(proc, v, t, overlapped)
+			flux.chargeLineSegment(proc, v, t, overlapped)
+		}
+	}
+}
+
+// EFMFlux computes interface fluxes with the Equilibrium Flux Method
+// (kinetic flux-vector splitting): F = F⁺(qL) + F⁻(qR). Its per-face cost
+// is fixed — heavy on transcendentals, light on memory — which is why the
+// paper finds EFMFlux cheaper than GodunovFlux with far smaller variance
+// (Fig. 8), making it the better-performing implementation choice.
+func EFMFlux(proc *platform.Proc, qL, qR, flux *EdgeField) {
+	checkFaceGeom(qL, qR, flux)
+	d := flux.Dir
+	forEachFace(flux, func(f, t int) {
+		l := primRot(qL.AtFace(f, t), d)
+		r := primRot(qR.AtFace(f, t), d)
+		fl := kfvsSplit(l, +1)
+		fr := kfvsSplit(r, -1)
+		var out Cons
+		for v := 0; v < NVars; v++ {
+			out[v] = fl[v] + fr[v]
+		}
+		flux.setFace(f, t, unrotate(out, d))
+	})
+	chargeFluxKernel(proc, qL, qR, flux, true)
+	if proc != nil {
+		proc.ChargeFlops(efmFlopsPerFace * flux.Len())
+	}
+}
+
+// primRot converts a conserved face state to primitives with the sweep
+// direction rotated onto the normal axis.
+func primRot(u Cons, d Dir) Prim {
+	return PrimFromCons(rotate(u, d))
+}
+
+// kfvsSplit returns the one-sided kinetic flux of state w: sign=+1 gives
+// the right-moving half-Maxwellian flux F⁺, sign=-1 gives F⁻. The split is
+// exactly consistent: F⁺(w)+F⁻(w) equals the physical flux of w.
+func kfvsSplit(w Prim, sign float64) Cons {
+	g := w.Gamma()
+	beta := w.Rho / (2 * w.P)
+	s := w.U * math.Sqrt(beta)
+	a := 0.5 * (1 + sign*math.Erf(s))
+	bterm := sign * 0.5 * math.Exp(-s*s) / math.Sqrt(math.Pi*beta)
+	e := w.P/(g-1) + 0.5*w.Rho*(w.U*w.U+w.V*w.V)
+	massFlux := w.Rho * (w.U*a + bterm)
+	return Cons{
+		massFlux,
+		(w.Rho*w.U*w.U+w.P)*a + w.Rho*w.U*bterm,
+		massFlux * w.V,
+		w.U*(e+w.P)*a + (e+0.5*w.P)*bterm,
+		massFlux * w.Y,
+	}
+}
+
+// GodunovFlux computes interface fluxes from the exact solution of the
+// Riemann problem at each face (iterative Newton solve for the star-region
+// pressure). It returns the total number of Newton iterations performed —
+// data-dependent work that makes its timing variance grow with array size.
+// GodunovFlux is the more accurate, more expensive alternative to EFMFlux:
+// the paper's Quality-of-Service discussion (Section 5) weighs exactly this
+// substitution.
+func GodunovFlux(proc *platform.Proc, qL, qR, flux *EdgeField) int {
+	checkFaceGeom(qL, qR, flux)
+	d := flux.Dir
+	totalIters := 0
+	forEachFace(flux, func(f, t int) {
+		l := primRot(qL.AtFace(f, t), d)
+		r := primRot(qR.AtFace(f, t), d)
+		w, iters := RiemannSample(l, r)
+		totalIters += iters
+		flux.setFace(f, t, unrotate(PhysFlux(w), d))
+	})
+	chargeFluxKernel(proc, qL, qR, flux, false)
+	if proc != nil {
+		proc.ChargeFlops(godunovBaseFlops*flux.Len() + godunovIterFlops*totalIters)
+	}
+	return totalIters
+}
+
+// riemannTol is the Newton convergence tolerance on the star pressure.
+const riemannTol = 1e-8
+
+// riemannMaxIter bounds the Newton iteration; the two-rarefaction initial
+// guess converges in a handful of steps for all physical inputs.
+const riemannMaxIter = 25
+
+// pressureFn evaluates Toro's f_K(p) and its derivative for one side.
+func pressureFn(p float64, w Prim, g float64) (fk, dfk float64) {
+	a := math.Sqrt(g * w.P / w.Rho)
+	if p > w.P { // shock
+		ak := 2 / ((g + 1) * w.Rho)
+		bk := (g - 1) / (g + 1) * w.P
+		q := math.Sqrt(ak / (p + bk))
+		fk = (p - w.P) * q
+		dfk = q * (1 - (p-w.P)/(2*(p+bk)))
+		return fk, dfk
+	}
+	// rarefaction
+	pr := p / w.P
+	fk = 2 * a / (g - 1) * (math.Pow(pr, (g-1)/(2*g)) - 1)
+	dfk = 1 / (w.Rho * a) * math.Pow(pr, -(g+1)/(2*g))
+	return fk, dfk
+}
+
+// RiemannStar solves for the star-region pressure and velocity between
+// states l and r (normal velocity in U), using a Newton iteration on the
+// pressure function with a two-rarefaction initial guess. It returns the
+// star pressure, star velocity and the number of iterations used.
+func RiemannStar(l, r Prim) (pstar, ustar float64, iters int) {
+	g := 0.5 * (l.Gamma() + r.Gamma()) // single-gamma approximation
+	al := math.Sqrt(g * l.P / l.Rho)
+	ar := math.Sqrt(g * r.P / r.Rho)
+	du := r.U - l.U
+
+	// Two-rarefaction initial guess (robust for all pressure ratios).
+	z := (g - 1) / (2 * g)
+	num := al + ar - 0.5*(g-1)*du
+	den := al/math.Pow(l.P, z) + ar/math.Pow(r.P, z)
+	p := math.Pow(num/den, 1/z)
+	if p < riemannTol {
+		p = riemannTol
+	}
+
+	for iters = 1; iters <= riemannMaxIter; iters++ {
+		fl, dfl := pressureFn(p, l, g)
+		fr, dfr := pressureFn(p, r, g)
+		f := fl + fr + du
+		df := dfl + dfr
+		dp := f / df
+		pNew := p - dp
+		if pNew < riemannTol {
+			pNew = riemannTol
+		}
+		if math.Abs(pNew-p) < riemannTol*(0.5*(pNew+p)) {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+	fl, _ := pressureFn(p, l, g)
+	fr, _ := pressureFn(p, r, g)
+	ustar = 0.5*(l.U+r.U) + 0.5*(fr-fl)
+	return p, ustar, iters
+}
+
+// RiemannSample solves the Riemann problem between l and r and samples the
+// self-similar solution on the interface ray x/t = 0, returning the state
+// there (with transverse velocity and mass fraction taken from the upwind
+// side) and the Newton iteration count.
+func RiemannSample(l, r Prim) (Prim, int) {
+	g := 0.5 * (l.Gamma() + r.Gamma())
+	pstar, ustar, iters := RiemannStar(l, r)
+
+	var w Prim
+	if ustar >= 0 {
+		w = sampleSide(l, pstar, ustar, g, +1)
+		w.V, w.Y = l.V, l.Y
+	} else {
+		w = sampleSide(r, pstar, ustar, g, -1)
+		w.V, w.Y = r.V, r.Y
+	}
+	return w, iters
+}
+
+// sampleSide samples the wave fan on one side of the contact at x/t = 0.
+// side = +1 for the left wave (moving left), -1 for the right wave.
+func sampleSide(k Prim, pstar, ustar, g float64, side float64) Prim {
+	a := math.Sqrt(g * k.P / k.Rho)
+	if pstar > k.P {
+		// Shock on this side.
+		sqrtTerm := math.Sqrt((g+1)/(2*g)*pstar/k.P + (g-1)/(2*g))
+		sShock := k.U - side*a*sqrtTerm
+		if side*sShock >= 0 {
+			return k // ahead of the shock
+		}
+		rr := pstar / k.P
+		gm := (g - 1) / (g + 1)
+		rho := k.Rho * (rr + gm) / (gm*rr + 1)
+		return Prim{Rho: rho, U: ustar, V: k.V, P: pstar, Y: k.Y}
+	}
+	// Rarefaction on this side.
+	astar := a * math.Pow(pstar/k.P, (g-1)/(2*g))
+	sHead := k.U - side*a
+	sTail := ustar - side*astar
+	switch {
+	case side*sHead >= 0:
+		return k // ahead of the head
+	case side*sTail <= 0:
+		rho := k.Rho * math.Pow(pstar/k.P, 1/g)
+		return Prim{Rho: rho, U: ustar, V: k.V, P: pstar, Y: k.Y}
+	default:
+		// Inside the fan: self-similar state at x/t = 0.
+		u := (2 / (g + 1)) * (side*a + (g-1)/2*k.U)
+		c := (2 / (g + 1)) * (a + side*(g-1)/2*k.U)
+		rho := k.Rho * math.Pow(c/a, 2/(g-1))
+		p := k.P * math.Pow(c/a, 2*g/(g-1))
+		return Prim{Rho: rho, U: u, V: k.V, P: p, Y: k.Y}
+	}
+}

@@ -1,0 +1,103 @@
+package euler
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// applyFlops is the per-cell floating-point work of a flux-divergence
+// update over all variables.
+const applyFlops = 4 * NVars
+
+// ApplyFluxes writes out = in - dt/dx (Fx_{i+1}-Fx_i) - dt/dy (Fy_{j+1}-Fy_j)
+// over the interior. in and out may be the same block. This is the RK2
+// component's own (exclusive) work between its calls to States and the flux
+// components.
+func ApplyFluxes(proc *platform.Proc, in, out *Block, fx, fy *EdgeField, dt, dx, dy float64) {
+	if fx.Dir != X || fy.Dir != Y {
+		panic("euler: ApplyFluxes wants an X and a Y edge field")
+	}
+	if fx.NxCells != in.Nx || fx.NyCells != in.Ny || fy.NxCells != in.Nx || fy.NyCells != in.Ny {
+		panic("euler: ApplyFluxes geometry mismatch")
+	}
+	lx := dt / dx
+	ly := dt / dy
+	for j := 0; j < in.Ny; j++ {
+		for i := 0; i < in.Nx; i++ {
+			u := in.At(i, j)
+			fxm := fx.AtFace(i, j)
+			fxp := fx.AtFace(i+1, j)
+			fym := fy.AtFace(j, i)
+			fyp := fy.AtFace(j+1, i)
+			for v := 0; v < NVars; v++ {
+				u[v] -= lx*(fxp[v]-fxm[v]) + ly*(fyp[v]-fym[v])
+			}
+			validState(u, "ApplyFluxes")
+			out.Set(i, j, u)
+		}
+	}
+	for v := 0; v < NVars; v++ {
+		in.chargeSweep(proc, v, X)
+		out.chargeSweep(proc, v, X)
+		fx.chargeSweep(proc, v)
+		fy.chargeSweep(proc, v)
+	}
+	if proc != nil {
+		proc.ChargeFlops(applyFlops * in.Cells())
+	}
+}
+
+// Average writes out = (a + b) / 2 over the interior: the combination step
+// of Heun's RK2.
+func Average(proc *platform.Proc, a, b, out *Block) {
+	if a.Nx != b.Nx || a.Ny != b.Ny || a.Nx != out.Nx || a.Ny != out.Ny {
+		panic("euler: Average geometry mismatch")
+	}
+	for j := 0; j < a.Ny; j++ {
+		for i := 0; i < a.Nx; i++ {
+			ua, ub := a.At(i, j), b.At(i, j)
+			for v := 0; v < NVars; v++ {
+				ua[v] = 0.5 * (ua[v] + ub[v])
+			}
+			out.Set(i, j, ua)
+		}
+	}
+	for v := 0; v < NVars; v++ {
+		a.chargeSweep(proc, v, X)
+		b.chargeSweep(proc, v, X)
+		out.chargeSweep(proc, v, X)
+	}
+	if proc != nil {
+		proc.ChargeFlops(2 * NVars * a.Cells())
+	}
+}
+
+// FluxKernel is the signature shared by EFMFlux and GodunovFlux: the two
+// interchangeable implementations of the paper's InviscidFlux functionality.
+type FluxKernel func(proc *platform.Proc, qL, qR, flux *EdgeField) int
+
+// EFMKernel adapts EFMFlux to the FluxKernel signature (it has no iteration
+// count; it reports zero).
+func EFMKernel(proc *platform.Proc, qL, qR, flux *EdgeField) int {
+	EFMFlux(proc, qL, qR, flux)
+	return 0
+}
+
+// GodunovKernel adapts GodunovFlux to the FluxKernel signature.
+func GodunovKernel(proc *platform.Proc, qL, qR, flux *EdgeField) int {
+	return GodunovFlux(proc, qL, qR, flux)
+}
+
+// CFLTimeStep returns the stable time step for the given mesh spacing and
+// global maximum wave speed under the given CFL number.
+func CFLTimeStep(cfl, dx, dy, maxSpeed float64) float64 {
+	if maxSpeed <= 0 {
+		return math.Inf(1)
+	}
+	h := dx
+	if dy < h {
+		h = dy
+	}
+	return cfl * h / maxSpeed
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/perfmodel"
+)
+
+// This file implements the paper's Section 6 outlook: "The models derived
+// here are valid only on a similar cluster. Any significant change, such as
+// halving of the cache size, will have a large effect on the coefficients
+// in the models (though the functional form is expected to remain
+// unchanged). Ideally, the coefficients should be parameterized by
+// processor speed and a cache model. We will address this in future work,
+// where the cache information collected during these tests will be
+// employed."
+//
+// Two instruments:
+//
+//   - RunCacheStudy refits a kernel's model under different cache sizes and
+//     shows the coefficients moving while the functional form stays put;
+//   - CacheAwareFit folds the recorded PAPI_L2_DCM deltas into a
+//     multivariate model T(Q, DCM), which explains the mode split a
+//     Q-only model has to average over.
+
+// CachePoint is one cache-size sample of the study.
+type CachePoint struct {
+	// CacheKB is the simulated cache capacity.
+	CacheKB int
+	// Model is the kernel model fitted under that cache.
+	Model *ComponentModel
+}
+
+// RunCacheStudy refits the kernel under each cache size (in kB). The base
+// sweep's other parameters are kept.
+func RunCacheStudy(base SweepConfig, cacheKBs []int) ([]CachePoint, error) {
+	out := make([]CachePoint, 0, len(cacheKBs))
+	for _, kb := range cacheKBs {
+		cfg := base
+		cfg.World.Cache.SizeBytes = kb * 1024
+		sw, err := RunSweep(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: cache study at %d kB: %w", kb, err)
+		}
+		cm, err := FitModels(sw)
+		if err != nil {
+			return nil, fmt.Errorf("harness: cache study fit at %d kB: %w", kb, err)
+		}
+		out = append(out, CachePoint{CacheKB: kb, Model: cm})
+	}
+	return out, nil
+}
+
+// WriteCacheStudy prints the per-cache-size model comparison.
+func WriteCacheStudy(w io.Writer, kernel Kernel, pts []CachePoint) error {
+	if _, err := fmt.Fprintf(w, "cache-size study for %s (functional form fixed, coefficients move):\n",
+		kernel.RecordName()); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %5d kB: T = %s\n", p.CacheKB, p.Model.Mean)
+	}
+	return nil
+}
+
+// CacheAwareFit regresses wall time on both the array size and the
+// invocation's recorded cache misses: T = c0 + c1*Q + c2*DCM. It returns
+// the multivariate model, its R², and the R² of the Q-only linear fit on
+// the identical samples for comparison.
+func CacheAwareFit(s *SweepResult) (perfmodel.MultiLin, float64, float64, error) {
+	var rows [][]float64
+	var qOnly, y []float64
+	for _, p := range s.Points {
+		rows = append(rows, []float64{float64(p.Q), p.Misses})
+		qOnly = append(qOnly, float64(p.Q))
+		y = append(y, p.WallUS)
+	}
+	if len(rows) == 0 {
+		return perfmodel.MultiLin{}, 0, 0, fmt.Errorf("harness: no samples")
+	}
+	ml, err := perfmodel.MultiLinFit([]string{"Q", "DCM"}, rows, y)
+	if err != nil {
+		return perfmodel.MultiLin{}, 0, 0, err
+	}
+	r2 := perfmodel.R2Multi(ml, rows, y)
+	plain, err := perfmodel.LinFit(qOnly, y)
+	if err != nil {
+		return perfmodel.MultiLin{}, 0, 0, err
+	}
+	plainR2 := perfmodel.R2(plain, qOnly, y)
+	return ml, r2, plainR2, nil
+}

@@ -1,0 +1,245 @@
+// Package harness drives the paper's evaluation: it runs the case study
+// (Section 5) on the simulated platform and regenerates the data behind
+// every figure — the Fig. 3 FUNCTION SUMMARY, the Fig. 4/5 States mode
+// comparison, the Fig. 6–8 component models (Eqs. 1–2), the Fig. 9
+// per-level communication times, and the Fig. 10 composite-model dual.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/amr"
+	"repro/internal/cca"
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/tau"
+)
+
+// CaseStudyConfig configures one end-to-end run of the paper's application.
+type CaseStudyConfig struct {
+	// App is the component assembly configuration.
+	App components.AppConfig
+	// World is the simulated machine (the paper used 3 ranks of a Xeon
+	// cluster).
+	World mpi.WorldConfig
+}
+
+// DefaultCaseStudy returns the calibrated configuration whose profile
+// reproduces the Fig. 3 shape. Two calibrations depart from the raw
+// platform defaults, both documented in EXPERIMENTS.md:
+//
+//   - MPI_Init/Finalize are scaled down in proportion to the shorter
+//     virtual run (the paper's 0.66 s Init was ~0.6% of its 112 s main;
+//     the same share is kept here), and
+//   - the interconnect is the loaded-cluster model, putting the
+//     MPI_Waitsome share near the paper's ~25%.
+func DefaultCaseStudy() CaseStudyConfig {
+	app := components.DefaultAppConfig()
+	app.Mesh.BaseNx, app.Mesh.BaseNy = 96, 24
+	app.Mesh.TileNx, app.Mesh.TileNy = 24, 12
+	app.Driver.Steps = 24
+	world := mpi.DefaultConfig()
+	world.InitUS = 25_000
+	world.FinalizeUS = 6_000
+	world.Net.LatencyUS = 72
+	world.Net.BytesPerUS = 9.5
+	return CaseStudyConfig{App: app, World: world}
+}
+
+// CaseStudyResult collects everything the figures need from one run.
+type CaseStudyResult struct {
+	Config CaseStudyConfig
+	// Profiles holds one TAU profile per rank.
+	Profiles []*tau.Profile
+	// Records holds each rank's Mastermind records (nil if unmonitored).
+	Records [][]*core.Record
+	// Edges is rank 0's recorded call trace.
+	Edges map[core.CallEdge]int
+	// ImageNx, ImageNy, Image hold the final density field at finest
+	// resolution (Fig. 1).
+	ImageNx, ImageNy int
+	Image            []float64
+	// AssemblyDOT is the component wiring diagram (Fig. 2).
+	AssemblyDOT string
+	// Stats summarizes the final hierarchy.
+	Stats []amr.LevelStats
+	// StepsTaken and SimTime report the driver's progress.
+	StepsTaken int
+	SimTime    float64
+}
+
+// RunCaseStudy executes the assembled application under SCMD and gathers
+// the per-rank measurements.
+func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
+	w := mpi.NewWorld(cfg.World)
+	res := &CaseStudyResult{
+		Config:  cfg,
+		Records: make([][]*core.Record, cfg.World.Procs),
+	}
+	err := cca.RunSCMD(w, func(f *cca.Framework, r *mpi.Rank) error {
+		app, err := components.BuildApp(f, cfg.App)
+		if err != nil {
+			return err
+		}
+		if err := app.Go(); err != nil {
+			return err
+		}
+		// Post-processing: keep its collectives out of the profile using
+		// TAU's runtime group control.
+		r.Prof.SetGroupEnabled("MPI", false)
+		nx, ny, img := app.Mesh.Hierarchy().DensityImage()
+		r.Prof.SetGroupEnabled("MPI", true)
+
+		res.Records[r.Rank()] = app.Records()
+		if r.Rank() == 0 {
+			res.ImageNx, res.ImageNy, res.Image = nx, ny, img
+			if app.Core() != nil {
+				res.Edges = app.Core().Edges()
+			}
+			res.Stats = app.Mesh.Stats()
+			res.StepsTaken = app.Driver.StepsTaken
+			res.SimTime = app.Driver.SimTime
+			var sb writerBuilder
+			if err := f.WriteDOT(&sb, "case-study-assembly"); err != nil {
+				return err
+			}
+			res.AssemblyDOT = sb.String()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Profiles = w.Profiles()
+	return res, nil
+}
+
+// writerBuilder is a minimal strings.Builder clone implementing io.Writer
+// without importing strings here.
+type writerBuilder struct{ buf []byte }
+
+func (w *writerBuilder) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+func (w *writerBuilder) String() string { return string(w.buf) }
+
+// MeanSummary computes the cross-rank FUNCTION SUMMARY rows (Fig. 3).
+func (r *CaseStudyResult) MeanSummary() []tau.SummaryRow {
+	return tau.MeanSummary(r.Profiles)
+}
+
+// WriteProfile writes the Fig. 3 table.
+func (r *CaseStudyResult) WriteProfile(w io.Writer) error {
+	return tau.WriteFunctionSummary(w, "mean", r.MeanSummary())
+}
+
+// TimerShare returns a timer's mean inclusive time as a fraction of the
+// top-level (maximum inclusive) timer — the Fig. 3 %Time column.
+func (r *CaseStudyResult) TimerShare(name string) float64 {
+	for _, row := range r.MeanSummary() {
+		if row.Name == name {
+			return row.PercentTime / 100
+		}
+	}
+	return 0
+}
+
+// Record returns rank's record for a monitored method, or nil.
+func (r *CaseStudyResult) Record(rank int, method string) *core.Record {
+	for _, rec := range r.Records[rank] {
+		if rec.Method == method {
+			return rec
+		}
+	}
+	return nil
+}
+
+// GhostCommPoint is one Fig. 9 sample: the message-passing time of one
+// ghost-cell update at one level on one rank.
+type GhostCommPoint struct {
+	Rank       int
+	Level      int
+	Invocation int
+	MPIUS      float64
+	WallUS     float64
+}
+
+// GhostCommSeries extracts the Fig. 9 data from the icc_proxy records.
+func (r *CaseStudyResult) GhostCommSeries() []GhostCommPoint {
+	var out []GhostCommPoint
+	for rank := range r.Records {
+		rec := r.Record(rank, "icc_proxy::ghostUpdate()")
+		if rec == nil {
+			continue
+		}
+		perLevel := map[int]int{}
+		for i := range rec.Invocations {
+			inv := &rec.Invocations[i]
+			lvl, ok := inv.Param("level")
+			if !ok {
+				continue
+			}
+			l := int(lvl)
+			out = append(out, GhostCommPoint{
+				Rank: rank, Level: l, Invocation: perLevel[l],
+				MPIUS: inv.MPIUS, WallUS: inv.WallUS,
+			})
+			perLevel[l]++
+		}
+	}
+	return out
+}
+
+// WriteGhostCommCSV writes the Fig. 9 series.
+func (r *CaseStudyResult) WriteGhostCommCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,level,invocation,mpi_us,wall_us"); err != nil {
+		return err
+	}
+	for _, p := range r.GhostCommSeries() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%g,%g\n",
+			p.Rank, p.Level, p.Invocation, p.MPIUS, p.WallUS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePGM renders the density image as a portable graymap (Fig. 1's
+// density snapshot; darker = denser).
+func (r *CaseStudyResult) WritePGM(w io.Writer) error {
+	if len(r.Image) == 0 {
+		return fmt.Errorf("harness: no density image")
+	}
+	minV, maxV := r.Image[0], r.Image[0]
+	for _, v := range r.Image {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", r.ImageNx, r.ImageNy); err != nil {
+		return err
+	}
+	// PGM rows run top to bottom; our j runs bottom to top.
+	for j := r.ImageNy - 1; j >= 0; j-- {
+		for i := 0; i < r.ImageNx; i++ {
+			v := r.Image[j*r.ImageNx+i]
+			g := 255 - int((v-minV)/span*255)
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%d", g)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/assembly"
+	"repro/internal/euler"
+	"repro/internal/perfmodel"
+)
+
+// fastCaseStudy shrinks the default run for test speed.
+func fastCaseStudy() CaseStudyConfig {
+	cfg := DefaultCaseStudy()
+	cfg.App.Mesh.BaseNx, cfg.App.Mesh.BaseNy = 48, 12
+	cfg.App.Mesh.TileNx, cfg.App.Mesh.TileNy = 12, 6
+	cfg.App.Driver.Steps = 6
+	cfg.App.Driver.RegridInterval = 3
+	return cfg
+}
+
+// fastSweep shrinks the default sweep for test speed.
+func fastSweep(k Kernel) SweepConfig {
+	cfg := DefaultSweep(k)
+	cfg.Sizes = LogSizes(2_000, 120_000, 5)
+	cfg.Reps = 2
+	cfg.World.Procs = 2
+	return cfg
+}
+
+func TestRunCaseStudyProducesAllArtifacts(t *testing.T) {
+	res, err := RunCaseStudy(fastCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 3 {
+		t.Errorf("profiles = %d, want 3", len(res.Profiles))
+	}
+	if res.ImageNx == 0 || len(res.Image) != res.ImageNx*res.ImageNy {
+		t.Error("no density image")
+	}
+	if !strings.Contains(res.AssemblyDOT, "sc_proxy") {
+		t.Error("assembly DOT missing proxies")
+	}
+	if len(res.Edges) == 0 {
+		t.Error("no call trace")
+	}
+	if res.StepsTaken != 6 {
+		t.Errorf("steps = %d", res.StepsTaken)
+	}
+	var sb strings.Builder
+	if err := res.WriteProfile(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FUNCTION SUMMARY (mean):", "MPI_Waitsome()", "int main(int, char **)"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("profile missing %q", want)
+		}
+	}
+}
+
+func TestFig3ShapeWaitsomeShare(t *testing.T) {
+	// The headline Fig. 3 claim: about a quarter of the time in
+	// MPI_Waitsome. Accept a generous band around the paper's 24.3%.
+	res, err := RunCaseStudy(DefaultCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.TimerShare("MPI_Waitsome()")
+	if ws < 0.12 || ws > 0.45 {
+		t.Errorf("MPI_Waitsome share = %.1f%%, want ~25%%", ws*100)
+	}
+	// Godunov must outweigh States (paper: 12.0%% vs 10.9%%).
+	if g, s := res.TimerShare("g_proxy::compute()"), res.TimerShare("sc_proxy::compute()"); g <= s {
+		t.Errorf("g_proxy share %.1f%% should exceed sc_proxy %.1f%%", g*100, s*100)
+	}
+	if res.TimerShare("MPI_Allreduce()") > 0.05 {
+		t.Errorf("MPI_Allreduce share %.1f%% should be small", res.TimerShare("MPI_Allreduce()")*100)
+	}
+}
+
+func TestGhostCommSeriesFig9(t *testing.T) {
+	res, err := RunCaseStudy(fastCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.GhostCommSeries()
+	if len(pts) == 0 {
+		t.Fatal("no ghost-update comm samples")
+	}
+	levels := map[int]bool{}
+	ranks := map[int]bool{}
+	for _, p := range pts {
+		levels[p.Level] = true
+		ranks[p.Rank] = true
+		if p.MPIUS < 0 || p.MPIUS > p.WallUS+1e-9 {
+			t.Fatalf("bad sample %+v", p)
+		}
+	}
+	if len(levels) < 2 || len(ranks) != 3 {
+		t.Errorf("levels %v ranks %v", levels, ranks)
+	}
+	var sb strings.Builder
+	if err := res.WriteGhostCommCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "rank,level,invocation,mpi_us,wall_us") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	res, err := RunCaseStudy(fastCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WritePGM(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "P2\n") {
+		t.Error("not a PGM")
+	}
+	if !strings.Contains(out, "255") {
+		t.Error("missing maxval")
+	}
+	empty := &CaseStudyResult{}
+	if err := empty.WritePGM(&sb); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestLogSizes(t *testing.T) {
+	s := LogSizes(1000, 150000, 12)
+	if len(s) != 12 || s[0] != 1000 {
+		t.Fatalf("sizes = %v", s)
+	}
+	if s[11] < 149000 || s[11] > 151000 {
+		t.Errorf("last size = %d, want ~150000", s[11])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatal("sizes not increasing")
+		}
+	}
+	if one := LogSizes(5, 10, 1); len(one) != 1 || one[0] != 5 {
+		t.Errorf("n=1 sizes = %v", one)
+	}
+}
+
+func TestRunSweepStates(t *testing.T) {
+	sw, err := RunSweep(fastSweep(KernelStates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	// Both modes sampled at every size.
+	qx, _ := sw.ModeSeries(euler.X)
+	qy, _ := sw.ModeSeries(euler.Y)
+	if len(qx) == 0 || len(qx) != len(qy) {
+		t.Errorf("mode sample counts %d/%d", len(qx), len(qy))
+	}
+	// Fig. 5 shape: ratio near 1 for the smallest sizes, rising for the
+	// largest.
+	ratios := sw.StridedRatios()
+	if len(ratios) == 0 {
+		t.Fatal("no ratios")
+	}
+	smallAvg, largeAvg := 0.0, 0.0
+	ns, nl := 0, 0
+	for _, r := range ratios {
+		if r.Q < 6000 {
+			smallAvg += r.Ratio
+			ns++
+		}
+		if r.Q > 60000 {
+			largeAvg += r.Ratio
+			nl++
+		}
+	}
+	if ns == 0 || nl == 0 {
+		t.Fatal("ratio size coverage missing")
+	}
+	smallAvg /= float64(ns)
+	largeAvg /= float64(nl)
+	if smallAvg > 1.6 {
+		t.Errorf("small-Q ratio = %.2f, want ~1 (cache resident)", smallAvg)
+	}
+	if largeAvg < 1.8 {
+		t.Errorf("large-Q ratio = %.2f, want substantially above 1", largeAvg)
+	}
+	if largeAvg <= smallAvg {
+		t.Error("ratio must grow with Q (Fig. 5)")
+	}
+}
+
+func TestSweepCSVWriters(t *testing.T) {
+	sw, err := RunSweep(fastSweep(KernelStates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sw.WriteScatterCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "rank,q,mode,wall_us") {
+		t.Error("scatter header wrong")
+	}
+	sb.Reset()
+	if err := sw.WriteRatiosCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "strided_over_sequential") {
+		t.Error("ratio header wrong")
+	}
+}
+
+func TestRunSweepRejectsEmpty(t *testing.T) {
+	if _, err := RunSweep(SweepConfig{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestFitModelsShapes(t *testing.T) {
+	// States: power-law mean with superlinear exponent.
+	sw, err := RunSweep(fastSweep(KernelStates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := FitModels(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, ok := cm.Mean.(perfmodel.PowerLaw)
+	if !ok {
+		t.Fatalf("States mean model is %T, want PowerLaw", cm.Mean)
+	}
+	if pl.B < 0.9 || pl.B > 1.6 {
+		t.Errorf("States exponent = %.3f, want ~1.2 (paper: 1.19)", pl.B)
+	}
+	if cm.MeanR2 < 0.5 {
+		t.Errorf("States mean R2 = %.3f, too poor", cm.MeanR2)
+	}
+
+	// Godunov: linear mean, sigma growing with Q.
+	swG, err := RunSweep(fastSweep(KernelGodunov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmG, err := FitModels(swG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, ok := cmG.Mean.(perfmodel.Poly)
+	if !ok || len(lg.Coeffs) != 2 {
+		t.Fatalf("Godunov mean model = %v", cmG.Mean)
+	}
+	if lg.Coeffs[1] <= 0 {
+		t.Error("Godunov slope must be positive")
+	}
+	sg := cmG.Sigma.(perfmodel.Poly)
+	if sg.Coeffs[1] <= 0 {
+		t.Error("Godunov sigma must grow with Q (paper Fig. 7)")
+	}
+
+	// EFM: linear mean cheaper than Godunov at large Q.
+	swE, err := RunSweep(fastSweep(KernelEFM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmE, err := FitModels(swE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bigQ = 100_000
+	if cmE.Mean.Predict(bigQ) >= cmG.Mean.Predict(bigQ) {
+		t.Errorf("EFM (%.0f us) must be cheaper than Godunov (%.0f us) at Q=%d",
+			cmE.Mean.Predict(bigQ), cmG.Mean.Predict(bigQ), bigQ)
+	}
+	// EFM's variability is far below Godunov's (paper Fig. 8): compare the
+	// measured per-group sigmas directly (fitted sigma models extrapolate
+	// poorly on the sparse test sweep).
+	var sigE, sigG float64
+	for _, g := range cmE.Stats {
+		sigE += g.StdDev
+	}
+	for _, g := range cmG.Stats {
+		sigG += g.StdDev
+	}
+	if sigE >= sigG {
+		t.Errorf("total EFM sigma (%.0f) must be below Godunov's (%.0f)", sigE, sigG)
+	}
+
+	// Report writers.
+	var sb strings.Builder
+	if err := WriteModelReport(&sb, cmG); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"g_proxy::compute()", "paper", "measured", "R2"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("model report missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := WriteMeanSigmaCSV(&sb, cmG); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "q,n,mean_us,sigma_us") {
+		t.Error("mean/sigma CSV header wrong")
+	}
+}
+
+func TestBuildDualAndOptimize(t *testing.T) {
+	res, err := RunCaseStudy(fastCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[Kernel]*ComponentModel{}
+	for _, k := range []Kernel{KernelStates, KernelGodunov, KernelEFM} {
+		sw, err := RunSweep(fastSweep(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := FitModels(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[k] = cm
+	}
+	dual := BuildDual(res, models)
+	if dual.Vertex("sc_proxy") == nil || dual.Vertex("g_proxy") == nil {
+		t.Fatal("dual missing kernel vertices")
+	}
+	if dual.Vertex("icc_proxy") == nil || dual.Vertex("icc_proxy").Comm == nil {
+		t.Error("mesh vertex missing comm model")
+	}
+	if cost := dual.Cost(); cost <= 0 || math.IsNaN(cost) {
+		t.Errorf("composite cost = %g", cost)
+	}
+	var sb strings.Builder
+	if err := dual.WriteDOT(&sb, "dual"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "g_proxy") {
+		t.Error("dual DOT missing vertices")
+	}
+
+	// Optimizer: at large workload EFM wins on cost; the QoS floor brings
+	// Godunov back (the paper's trade).
+	trial := BuildDual(res, models)
+	for _, name := range []string{"g_proxy", "sc_proxy"} {
+		if v := trial.Vertex(name); v != nil {
+			nv := *v
+			nv.Q = 100_000
+			trial.AddVertex(nv)
+		}
+	}
+	opt := &assembly.Optimizer{Dual: trial,
+		Slots: []assembly.Slot{FluxSlot("g_proxy", models[KernelGodunov], models[KernelEFM])}}
+	best, _, err := opt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Choice["g_proxy"] != "EFMFlux" {
+		t.Errorf("large-Q optimum = %v, want EFMFlux", best.Choice)
+	}
+	opt.MinQoS = 0.9
+	bestQoS, _, err := opt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestQoS.Choice["g_proxy"] != "GodunovFlux" {
+		t.Errorf("QoS-floored optimum = %v, want GodunovFlux", bestQoS.Choice)
+	}
+}
+
+func TestCaseStudyDeterminism(t *testing.T) {
+	r1, err := RunCaseStudy(fastCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCaseStudy(fastCaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := r1.MeanSummary(), r2.MeanSummary()
+	if len(s1) != len(s2) {
+		t.Fatalf("summary row counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || s1[i].InclusiveUS != s2[i].InclusiveUS {
+			t.Errorf("row %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}

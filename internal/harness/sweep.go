@@ -1,0 +1,386 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cca"
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/euler"
+	"repro/internal/mpi"
+)
+
+// Kernel names the three measured components of Section 5.
+type Kernel string
+
+// The measured kernels and their paper proxy labels.
+const (
+	KernelStates  Kernel = "states"
+	KernelGodunov Kernel = "godunov"
+	KernelEFM     Kernel = "efm"
+)
+
+// proxyName returns the paper's proxy instance label for the kernel.
+func (k Kernel) proxyName() string {
+	switch k {
+	case KernelStates:
+		return "sc_proxy"
+	case KernelGodunov:
+		return "g_proxy"
+	default:
+		return "efm_proxy"
+	}
+}
+
+// RecordName returns the monitored method name the sweep produces.
+func (k Kernel) RecordName() string { return k.proxyName() + "::compute()" }
+
+// SweepConfig drives the Fig. 4–8 measurement campaign: the kernel is
+// invoked through its proxy on arrays of increasing size, alternating the
+// sequential (X-derivative) and strided (Y-derivative) modes the way the
+// application does.
+type SweepConfig struct {
+	Kernel Kernel
+	// Sizes lists the array sizes Q (cells per patch).
+	Sizes []int
+	// Reps is the number of invocations per size per mode.
+	Reps int
+	// World is the simulated machine (3 ranks give the per-processor
+	// scatter of Fig. 4).
+	World mpi.WorldConfig
+}
+
+// DefaultSweep returns the calibrated sweep for a kernel: log-spaced sizes
+// up to the paper's ~150k-element arrays.
+func DefaultSweep(k Kernel) SweepConfig {
+	return SweepConfig{
+		Kernel: k,
+		Sizes:  LogSizes(1_000, 150_000, 12),
+		Reps:   4,
+		World:  mpi.DefaultConfig(),
+	}
+}
+
+// LogSizes returns n log-spaced integer sizes in [lo, hi].
+func LogSizes(lo, hi, n int) []int {
+	if n < 2 {
+		return []int{lo}
+	}
+	out := make([]int, 0, n)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(n-1))
+	v := float64(lo)
+	for i := 0; i < n; i++ {
+		out = append(out, int(v+0.5))
+		v *= ratio
+	}
+	return out
+}
+
+// SweepPoint is one proxy-recorded invocation.
+type SweepPoint struct {
+	Rank   int
+	Q      int
+	Mode   euler.Dir
+	WallUS float64
+	// Misses is the invocation's PAPI_L2_DCM delta — the cache information
+	// the paper's Section 6 wants folded into the model coefficients.
+	Misses float64
+}
+
+// SweepResult holds the campaign's samples.
+type SweepResult struct {
+	Config SweepConfig
+	Points []SweepPoint
+}
+
+// sweepAspects are the patch tallness factors the sweep cycles through:
+// SAMR patches "can be of any size or aspect ratio" (paper §5), and the
+// aspect decides whether a strided sweep's working set fits the cache —
+// the source of the growing Fig. 4/5 scatter at large Q.
+var sweepAspects = []float64{0.7, 1.0, 1.4, 2.0}
+
+// blockShape picks a patch shape with the requested cell count and
+// tallness a (ny ~ a*sqrt(Q)).
+func blockShape(q int, a float64) (nx, ny int) {
+	ny = int(a * math.Sqrt(float64(q)))
+	if ny < 4 {
+		ny = 4
+	}
+	nx = q / ny
+	if nx < 4 {
+		nx = 4
+	}
+	return nx, ny
+}
+
+// RunSweep measures the kernel through the full PMM stack (component,
+// proxy, Mastermind, TAU) on every rank. Patch contents vary per rank and
+// repetition — a randomized shock/interface crossing — so data-dependent
+// kernels (GodunovFlux's Newton iterations) show their real variance.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	if len(cfg.Sizes) == 0 || cfg.Reps <= 0 {
+		return nil, fmt.Errorf("harness: empty sweep")
+	}
+	w := mpi.NewWorld(cfg.World)
+	res := &SweepResult{Config: cfg}
+	perRank := make([][]SweepPoint, cfg.World.Procs)
+
+	err := cca.RunSCMD(w, func(f *cca.Framework, r *mpi.Rank) error {
+		app := &components.App{Framework: f}
+		components.RegisterClasses(f, components.DefaultAppConfig(), app)
+		script := sweepScript(cfg.Kernel)
+		if err := f.RunScript(script); err != nil {
+			return err
+		}
+		statesPort, fluxPort, err := sweepPorts(f, cfg.Kernel)
+		if err != nil {
+			return err
+		}
+		proc := r.Proc
+		rng := proc.RNG()
+		problem := euler.DefaultShockInterface()
+		for _, q := range cfg.Sizes {
+			for _, aspect := range sweepAspects {
+				nx, ny := blockShape(q, aspect)
+				// Buffers are allocated once per shape and reused across
+				// repetitions, as the application reuses its patch arrays:
+				// only the first invocation sees a cold cache.
+				b := euler.NewBlock(proc, nx, ny, 2)
+				fields := map[euler.Dir][3]*euler.EdgeField{}
+				for _, dir := range []euler.Dir{euler.X, euler.Y} {
+					fields[dir] = [3]*euler.EdgeField{
+						euler.NewEdgeField(proc, nx, ny, dir),
+						euler.NewEdgeField(proc, nx, ny, dir),
+						euler.NewEdgeField(proc, nx, ny, dir),
+					}
+				}
+				for rep := 0; rep < cfg.Reps; rep++ {
+					// Fresh field contents per repetition: shock and
+					// interface at random positions inside the patch.
+					p := problem
+					p.ShockX = p.Lx * (0.15 + 0.5*rng.Float64())
+					p.InterfaceX = p.ShockX + p.Lx*(0.1+0.3*rng.Float64())
+					p.InitBlock(b, 0, 0, p.Lx/float64(nx), p.Ly/float64(ny))
+					b.FillBoundary(true, true, true, true)
+					for _, dir := range []euler.Dir{euler.X, euler.Y} {
+						qL, qR, fl := fields[dir][0], fields[dir][1], fields[dir][2]
+						if cfg.Kernel == KernelStates {
+							statesPort.Compute(b, dir, qL, qR)
+							continue
+						}
+						// Flux kernels consume reconstructed states: build
+						// them unmonitored, then invoke the monitored flux
+						// proxy.
+						euler.States(proc, b, dir, qL, qR)
+						fluxPort.Compute(qL, qR, fl)
+					}
+				}
+			}
+		}
+		// Harvest the proxy record into sweep points.
+		rec := app.Core().Record(cfg.Kernel.RecordName())
+		if rec == nil {
+			return fmt.Errorf("harness: sweep produced no %s record", cfg.Kernel.RecordName())
+		}
+		dcmIdx := -1
+		for i, n := range rec.MetricNames {
+			if n == "PAPI_L2_DCM" {
+				dcmIdx = i
+			}
+		}
+		var pts []SweepPoint
+		for i := range rec.Invocations {
+			inv := &rec.Invocations[i]
+			qv, _ := inv.Param("Q")
+			mode, _ := inv.Param("mode")
+			pt := SweepPoint{
+				Rank: r.Rank(), Q: int(qv), Mode: euler.Dir(int(mode)), WallUS: inv.WallUS,
+			}
+			if dcmIdx >= 0 && dcmIdx < len(inv.MetricDeltas) {
+				pt.Misses = inv.MetricDeltas[dcmIdx]
+			}
+			pts = append(pts, pt)
+		}
+		perRank[r.Rank()] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pts := range perRank {
+		res.Points = append(res.Points, pts...)
+	}
+	return res, nil
+}
+
+// sweepScript assembles just the kernel, its proxy and the PMM components.
+func sweepScript(k Kernel) string {
+	switch k {
+	case KernelStates:
+		return `
+instantiate TauMeasurement tau0
+instantiate Mastermind mastermind0
+instantiate States states0
+instantiate StatesProxy sc_proxy
+connect mastermind0 measurement tau0 measurement
+connect sc_proxy target states0 states
+connect sc_proxy monitor mastermind0 monitor
+`
+	case KernelGodunov:
+		return `
+instantiate TauMeasurement tau0
+instantiate Mastermind mastermind0
+instantiate GodunovFlux flux0
+instantiate FluxProxy g_proxy
+connect mastermind0 measurement tau0 measurement
+connect g_proxy target flux0 flux
+connect g_proxy monitor mastermind0 monitor
+`
+	default:
+		return `
+instantiate TauMeasurement tau0
+instantiate Mastermind mastermind0
+instantiate EFMFlux flux0
+instantiate FluxProxy efm_proxy
+connect mastermind0 measurement tau0 measurement
+connect efm_proxy target flux0 flux
+connect efm_proxy monitor mastermind0 monitor
+`
+	}
+}
+
+// sweepPorts resolves the proxy's provides port for direct invocation.
+func sweepPorts(f *cca.Framework, k Kernel) (components.StatesPort, components.FluxPort, error) {
+	if k == KernelStates {
+		p, err := f.LookupProvides("sc_proxy", "states")
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.(components.StatesPort), nil, nil
+	}
+	p, err := f.LookupProvides(k.proxyName(), "flux")
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, p.(components.FluxPort), nil
+}
+
+// ModeSeries splits the sweep into per-mode samples.
+func (s *SweepResult) ModeSeries(mode euler.Dir) (q, wall []float64) {
+	for _, p := range s.Points {
+		if p.Mode == mode {
+			q = append(q, float64(p.Q))
+			wall = append(wall, p.WallUS)
+		}
+	}
+	return q, wall
+}
+
+// AllSeries returns every sample regardless of mode (the paper's
+// mode-averaged analysis input).
+func (s *SweepResult) AllSeries() (q, wall []float64) {
+	for _, p := range s.Points {
+		q = append(q, float64(p.Q))
+		wall = append(wall, p.WallUS)
+	}
+	return q, wall
+}
+
+// RatioPoint is one Fig. 5 sample: strided/sequential mean time at one
+// size on one rank.
+type RatioPoint struct {
+	Rank  int
+	Q     int
+	Ratio float64
+}
+
+// StridedRatios computes the Fig. 5 series.
+func (s *SweepResult) StridedRatios() []RatioPoint {
+	type key struct{ rank, q int }
+	sums := map[key][2]float64{} // [seqSum, strSum]
+	counts := map[key][2]int{}
+	for _, p := range s.Points {
+		k := key{p.Rank, p.Q}
+		sv, cv := sums[k], counts[k]
+		if p.Mode == euler.X {
+			sv[0] += p.WallUS
+			cv[0]++
+		} else {
+			sv[1] += p.WallUS
+			cv[1]++
+		}
+		sums[k], counts[k] = sv, cv
+	}
+	var out []RatioPoint
+	for k, sv := range sums {
+		cv := counts[k]
+		if cv[0] == 0 || cv[1] == 0 {
+			continue
+		}
+		out = append(out, RatioPoint{
+			Rank: k.rank, Q: k.q,
+			Ratio: (sv[1] / float64(cv[1])) / (sv[0] / float64(cv[0])),
+		})
+	}
+	sortRatios(out)
+	return out
+}
+
+func sortRatios(pts []RatioPoint) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && less(pts[j], pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}
+
+func less(a, b RatioPoint) bool {
+	if a.Q != b.Q {
+		return a.Q < b.Q
+	}
+	return a.Rank < b.Rank
+}
+
+// WriteScatterCSV writes the Fig. 4 scatter.
+func (s *SweepResult) WriteScatterCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,q,mode,wall_us"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%g\n", p.Rank, p.Q, p.Mode, p.WallUS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRatiosCSV writes the Fig. 5 series.
+func (s *SweepResult) WriteRatiosCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,q,strided_over_sequential"); err != nil {
+		return err
+	}
+	for _, p := range s.StridedRatios() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%g\n", p.Rank, p.Q, p.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Record re-derives a core.Record-like view for model fitting.
+func (s *SweepResult) Record() *core.Record {
+	rec := &core.Record{Method: s.Config.Kernel.RecordName()}
+	for _, p := range s.Points {
+		rec.Invocations = append(rec.Invocations, core.Invocation{
+			Params: []core.Param{
+				{Name: "Q", Value: float64(p.Q)},
+				{Name: "mode", Value: float64(p.Mode)},
+			},
+			WallUS:    p.WallUS,
+			ComputeUS: p.WallUS,
+		})
+	}
+	return rec
+}

@@ -1,0 +1,346 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+)
+
+// Op identifies a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+// apply combines two values under the operator.
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduction op %d", int(o)))
+	}
+}
+
+type collKind int
+
+const (
+	collBarrier collKind = iota
+	collReduce
+	collAllreduce
+	collBcast
+	collAllgather
+	collDup
+	collCreate
+)
+
+func (k collKind) String() string {
+	switch k {
+	case collBarrier:
+		return "Barrier"
+	case collReduce:
+		return "Reduce"
+	case collAllreduce:
+		return "Allreduce"
+	case collBcast:
+		return "Bcast"
+	case collAllgather:
+		return "Allgather"
+	case collDup:
+		return "Comm_dup"
+	case collCreate:
+		return "Comm_create"
+	}
+	return "?"
+}
+
+func (k collKind) netKind() netmodel.CollectiveKind {
+	switch k {
+	case collBarrier, collDup, collCreate:
+		return netmodel.Barrier
+	case collReduce:
+		return netmodel.Reduce
+	case collAllreduce:
+		return netmodel.Allreduce
+	case collBcast:
+		return netmodel.Bcast
+	case collAllgather:
+		return netmodel.Allgather
+	}
+	return netmodel.Barrier
+}
+
+// collState is the per-communicator rendezvous for in-flight collectives.
+// At most one collective per communicator is in flight at a time (MPI
+// requires all ranks to issue collectives in the same order).
+type collState struct {
+	gen     uint64
+	arrived int
+	kind    collKind
+	op      Op
+	root    int
+	tmax    float64
+	contrib [][]float64
+
+	lastLeave  float64
+	lastResult [][]float64 // per-rank results of the completed collective
+	lastID     int         // new communicator id for Dup/Create
+}
+
+// collectiveLocked runs the all-ranks rendezvous: the caller contributes
+// data, blocks until every member of the communicator has arrived, and
+// leaves at tmax + network cost with its per-rank result. The last arriver
+// computes results for everyone. Caller must hold the world lock.
+func (c *Comm) collectiveLocked(kind collKind, data []float64, root int, op Op) ([]float64, int) {
+	w := c.world
+	cs := w.colls[c.id]
+	if cs == nil {
+		cs = &collState{}
+		w.colls[c.id] = cs
+	}
+	if cs.arrived == 0 {
+		cs.kind = kind
+		cs.op = op
+		cs.root = root
+		cs.tmax = 0
+		cs.contrib = make([][]float64, len(c.group))
+	} else if cs.kind != kind || cs.root != root {
+		panic(fmt.Sprintf("mpi: collective mismatch on comm %d: rank %d issued %v(root=%d) while %v(root=%d) in flight",
+			c.id, c.rank, kind, root, cs.kind, cs.root))
+	}
+	myGen := cs.gen
+	cs.arrived++
+	if t := c.r.Proc.Now(); t > cs.tmax {
+		cs.tmax = t
+	}
+	if data != nil {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		cs.contrib[c.rank] = cp
+	}
+	if cs.arrived == len(c.group) {
+		c.completeCollectiveLocked(cs)
+	} else {
+		w.blockOn(c.r.rank, func() bool { return cs.gen > myGen })
+		if w.aborted {
+			panic(abortPanic{})
+		}
+	}
+	c.r.Proc.SyncTo(cs.lastLeave)
+	var res []float64
+	if cs.lastResult != nil {
+		res = cs.lastResult[c.rank]
+	}
+	return res, cs.lastID
+}
+
+// completeCollectiveLocked is run by the last arriving rank: it computes
+// every member's result, costs the collective, and releases the others.
+func (c *Comm) completeCollectiveLocked(cs *collState) {
+	w := c.world
+	p := len(c.group)
+	var bytes int
+	results := make([][]float64, p)
+	switch cs.kind {
+	case collBarrier:
+		// no data
+	case collAllreduce, collReduce:
+		acc := reduceContrib(cs.contrib, cs.op)
+		bytes = bytesOf(len(acc))
+		for i := range results {
+			if cs.kind == collAllreduce || i == cs.root {
+				results[i] = acc
+			}
+		}
+	case collBcast:
+		src := cs.contrib[cs.root]
+		if src == nil {
+			panic("mpi: Bcast root contributed no data")
+		}
+		bytes = bytesOf(len(src))
+		for i := range results {
+			results[i] = src
+		}
+	case collAllgather:
+		var total []float64
+		for i, part := range cs.contrib {
+			if part == nil {
+				panic(fmt.Sprintf("mpi: Allgather rank %d contributed no data", i))
+			}
+			total = append(total, part...)
+		}
+		bytes = bytesOf(len(cs.contrib[0]))
+		for i := range results {
+			results[i] = total
+		}
+	case collDup, collCreate:
+		cs.lastID = w.nextCommID
+		w.nextCommID++
+	}
+	cost := w.cfg.Net.Collective(cs.kind.netKind(), p, bytes, w.rng)
+	cs.lastLeave = cs.tmax + cost
+	cs.lastResult = results
+	cs.arrived = 0
+	cs.gen++
+	// Parked members are promoted at the next scheduling point (when this
+	// rank blocks or finishes); only one rank ever runs at a time.
+}
+
+// reduceContrib folds the contributions elementwise under op. All
+// contributions must have equal length.
+func reduceContrib(contrib [][]float64, op Op) []float64 {
+	var acc []float64
+	for i, part := range contrib {
+		if part == nil {
+			panic(fmt.Sprintf("mpi: reduction rank %d contributed no data", i))
+		}
+		if acc == nil {
+			acc = make([]float64, len(part))
+			copy(acc, part)
+			continue
+		}
+		if len(part) != len(acc) {
+			panic(fmt.Sprintf("mpi: reduction length mismatch %d vs %d", len(part), len(acc)))
+		}
+		for j, v := range part {
+			acc[j] = op.apply(acc[j], v)
+		}
+	}
+	return acc
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Barrier()")
+	defer stop()
+	c.collectiveLocked(collBarrier, nil, 0, OpSum)
+}
+
+// Allreduce reduces data elementwise across all ranks under op and returns
+// the result (identical on every rank).
+func (c *Comm) Allreduce(op Op, data []float64) []float64 {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Allreduce()")
+	defer stop()
+	res, _ := c.collectiveLocked(collAllreduce, data, 0, op)
+	out := make([]float64, len(res))
+	copy(out, res)
+	return out
+}
+
+// Reduce reduces data elementwise to root. It returns the result on root
+// and nil elsewhere.
+func (c *Comm) Reduce(op Op, root int, data []float64) []float64 {
+	c.checkPeer(root)
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Reduce()")
+	defer stop()
+	res, _ := c.collectiveLocked(collReduce, data, root, op)
+	if res == nil {
+		return nil
+	}
+	out := make([]float64, len(res))
+	copy(out, res)
+	return out
+}
+
+// Bcast broadcasts root's buf into every rank's buf (in place).
+func (c *Comm) Bcast(root int, buf []float64) {
+	c.checkPeer(root)
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Bcast()")
+	defer stop()
+	var contrib []float64
+	if c.rank == root {
+		contrib = buf
+	}
+	res, _ := c.collectiveLocked(collBcast, contrib, root, OpSum)
+	if c.rank != root {
+		if len(res) != len(buf) {
+			panic(fmt.Sprintf("mpi: Bcast buffer length %d != root payload %d", len(buf), len(res)))
+		}
+		copy(buf, res)
+	}
+}
+
+// Allgather concatenates every rank's equal-length contribution in rank
+// order and returns the concatenation on every rank.
+func (c *Comm) Allgather(data []float64) []float64 {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Allgather()")
+	defer stop()
+	res, _ := c.collectiveLocked(collAllgather, data, 0, OpSum)
+	out := make([]float64, len(res))
+	copy(out, res)
+	return out
+}
+
+// Dup duplicates the communicator: a collective returning a new Comm with
+// the same group but a private message space.
+func (c *Comm) Dup() *Comm {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Comm_dup()")
+	defer stop()
+	_, id := c.collectiveLocked(collDup, nil, 0, OpSum)
+	return &Comm{world: w, id: id, rank: c.rank, group: c.group, r: c.r}
+}
+
+// CommCreate creates a sub-communicator over the given member ranks (ranks
+// of c, sorted ascending). Every rank of c must call it with the same
+// group; members receive the new Comm, non-members nil.
+func (c *Comm) CommCreate(group []int) *Comm {
+	for i, g := range group {
+		c.checkPeer(g)
+		if i > 0 && group[i-1] >= g {
+			panic("mpi: CommCreate group must be sorted and duplicate-free")
+		}
+	}
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := c.enter("MPI_Comm_create()")
+	defer stop()
+	_, id := c.collectiveLocked(collCreate, nil, 0, OpSum)
+	myNew := -1
+	worldGroup := make([]int, len(group))
+	for i, g := range group {
+		worldGroup[i] = c.group[g]
+		if g == c.rank {
+			myNew = i
+		}
+	}
+	if myNew < 0 {
+		return nil
+	}
+	return &Comm{world: w, id: id, rank: myNew, group: worldGroup, r: c.r}
+}

@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Allreduce(sum) over random per-rank vectors equals the serial
+// fold, for any world size 2..5 and vector length 1..32.
+func TestPropertyAllreduceMatchesSerialFold(t *testing.T) {
+	f := func(seed int64, pRaw, nRaw uint8) bool {
+		p := int(pRaw%4) + 2
+		n := int(nRaw%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([][]float64, p)
+		want := make([]float64, n)
+		for r := 0; r < p; r++ {
+			data[r] = make([]float64, n)
+			for i := range data[r] {
+				data[r][i] = math.Round(rng.Float64()*1000) / 16
+				want[i] += data[r][i]
+			}
+		}
+		cfg := testConfig(p)
+		w := NewWorld(cfg)
+		ok := true
+		err := w.Run(func(rk *Rank) {
+			got := rk.Comm.Allreduce(OpSum, data[rk.Rank()])
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an all-to-all exchange delivers every payload intact for any
+// tag assignment.
+func TestPropertyAllToAllDelivery(t *testing.T) {
+	f := func(seed int64) bool {
+		const p = 3
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([][][]float64, p) // [src][dst]
+		for s := 0; s < p; s++ {
+			payload[s] = make([][]float64, p)
+			for d := 0; d < p; d++ {
+				n := rng.Intn(64) + 1
+				payload[s][d] = make([]float64, n)
+				for i := range payload[s][d] {
+					payload[s][d][i] = float64(s*1000+d*100) + rng.Float64()
+				}
+			}
+		}
+		cfg := testConfig(p)
+		w := NewWorld(cfg)
+		ok := true
+		err := w.Run(func(rk *Rank) {
+			me := rk.Rank()
+			var reqs []*Request
+			bufs := make([][]float64, p)
+			for src := 0; src < p; src++ {
+				if src == me {
+					continue
+				}
+				bufs[src] = make([]float64, len(payload[src][me]))
+				reqs = append(reqs, rk.Comm.Irecv(src, 5, bufs[src]))
+			}
+			for dst := 0; dst < p; dst++ {
+				if dst != me {
+					rk.Comm.Isend(dst, 5, payload[me][dst])
+				}
+			}
+			for rk.Comm.Waitsome(reqs) != nil {
+			}
+			for src := 0; src < p; src++ {
+				if src == me {
+					continue
+				}
+				for i := range bufs[src] {
+					if bufs[src][i] != payload[src][me][i] {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDupChainIsolation(t *testing.T) {
+	// Nested duplicates each carry an isolated message space.
+	w := NewWorld(testConfig(2))
+	err := w.Run(func(r *Rank) {
+		d1 := r.Comm.Dup()
+		d2 := d1.Dup()
+		switch r.Rank() {
+		case 0:
+			r.Comm.Send(1, 1, []float64{0})
+			d1.Send(1, 1, []float64{1})
+			d2.Send(1, 1, []float64{2})
+		case 1:
+			buf := make([]float64, 1)
+			d2.Recv(0, 1, buf)
+			if buf[0] != 2 {
+				panic("d2 crossed message spaces")
+			}
+			d1.Recv(0, 1, buf)
+			if buf[0] != 1 {
+				panic("d1 crossed message spaces")
+			}
+			r.Comm.Recv(0, 1, buf)
+			if buf[0] != 0 {
+				panic("world crossed message spaces")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySmallMessagesStress(t *testing.T) {
+	// A thousand interleaved messages per pair survive with correct
+	// ordering and no deadlock.
+	const n = 1000
+	w := NewWorld(testConfig(2))
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				r.Comm.Send(1, i%7, []float64{float64(i)})
+			}
+		} else {
+			seen := make(map[int][]float64, 7)
+			buf := make([]float64, 1)
+			for i := 0; i < n; i++ {
+				tag := i % 7
+				r.Comm.Recv(0, tag, buf)
+				seen[tag] = append(seen[tag], buf[0])
+			}
+			// Per-tag FIFO ordering must hold.
+			for tag, vals := range seen {
+				for i := 1; i < len(vals); i++ {
+					if vals[i] <= vals[i-1] {
+						panic("per-tag FIFO violated")
+					}
+				}
+				_ = tag
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAllOpsAgainstFold(t *testing.T) {
+	ops := []Op{OpSum, OpMax, OpMin, OpProd}
+	folds := []func(a, b float64) float64{
+		func(a, b float64) float64 { return a + b },
+		math.Max, math.Min,
+		func(a, b float64) float64 { return a * b },
+	}
+	in := [][]float64{{2, -1}, {5, 3}, {-4, 0.5}}
+	for k, op := range ops {
+		w := NewWorld(testConfig(3))
+		want0 := in[0][0]
+		want1 := in[0][1]
+		for r := 1; r < 3; r++ {
+			want0 = folds[k](want0, in[r][0])
+			want1 = folds[k](want1, in[r][1])
+		}
+		err := w.Run(func(r *Rank) {
+			got := r.Comm.Allreduce(op, in[r.Rank()])
+			if got[0] != want0 || got[1] != want1 {
+				panic("reduction mismatch")
+			}
+		})
+		if err != nil {
+			t.Fatalf("op %d: %v", k, err)
+		}
+	}
+}
+
+func TestUnknownOpPanics(t *testing.T) {
+	// Two ranks so the reduction actually applies the operator.
+	w := NewWorld(testConfig(2))
+	err := w.Run(func(r *Rank) {
+		r.Comm.Allreduce(Op(99), []float64{1})
+	})
+	if err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

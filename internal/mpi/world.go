@@ -1,0 +1,339 @@
+// Package mpi implements the MPI-1 subset that CCAFFEINE's SCMD (Single
+// Component Multiple Data) execution model relies on, running over
+// goroutines inside one process: blocking and nonblocking point-to-point
+// (including MPI_Waitsome, the paper's hottest MPI call), collectives,
+// and communicator duplication/creation.
+//
+// Each simulated rank owns a platform.Proc (virtual clock, cache, RNG) and
+// a tau.Profile; every MPI entry point is wrapped in a TAU timer of group
+// "MPI", exactly like TAU's MPI profiling interface, so the Fig. 3 profile
+// rows and the Mastermind's "time in MPI" query come out of the same
+// mechanism the paper used.
+//
+// Scheduling is a conservative, fully deterministic token model: exactly
+// one rank executes at a time, and whenever the running rank blocks inside
+// MPI, the token passes to the runnable rank with the smallest virtual
+// clock. Message arrival times are computed from the sender's clock plus
+// the network model, so "time spent waiting in MPI" is the difference
+// between virtual arrival and the receiver's entry time — deterministic
+// run to run.
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/netmodel"
+	"repro/internal/platform"
+	"repro/internal/tau"
+)
+
+// rank execution states for the token scheduler.
+const (
+	stReady = iota
+	stRunning
+	stBlocked
+	stDone
+)
+
+// WorldConfig assembles the simulated machine: P ranks, each with the given
+// CPU and cache, connected by the given network.
+type WorldConfig struct {
+	// Procs is the number of SCMD ranks (the paper used 3).
+	Procs int
+	// CPU is the per-rank processor model.
+	CPU platform.CPUModel
+	// Cache is the per-rank cache geometry.
+	Cache cache.Config
+	// Net is the interconnect model.
+	Net netmodel.Model
+	// Seed makes all random streams (network noise) reproducible.
+	Seed int64
+	// InitUS and FinalizeUS are the one-time costs charged by MPI_Init and
+	// MPI_Finalize (startup/teardown of the parallel machine). Zero values
+	// get defaults matching the Fig. 3 magnitudes.
+	InitUS     float64
+	FinalizeUS float64
+}
+
+// DefaultConfig returns the paper-calibrated 3-rank world.
+func DefaultConfig() WorldConfig {
+	return WorldConfig{
+		Procs: 3,
+		CPU:   platform.XeonModel(),
+		Cache: cache.XeonL2(),
+		Net:   netmodel.FastEthernet(),
+		Seed:  1,
+	}
+}
+
+type mailKey struct {
+	comm int
+	dst  int // world rank of the receiver
+}
+
+type message struct {
+	src    int // rank within the communicator
+	tag    int
+	data   []float64
+	arrive float64 // virtual arrival time at the destination
+	seq    uint64
+}
+
+// World is the simulated parallel machine. Create one with NewWorld, then
+// call Run with the SCMD body. All exported methods on Comm must be called
+// from within the body, on the goroutine Run started for that rank.
+type World struct {
+	cfg WorldConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ranks   []*Rank
+	status  []int
+	blocked []func() bool
+	current int
+	aborted bool
+
+	mailboxes map[mailKey][]*message
+	seq       uint64
+
+	colls      map[int]*collState
+	nextCommID int
+	rng        *rand.Rand
+
+	panics []error
+}
+
+// Rank is the execution context handed to the SCMD body for one rank: its
+// world communicator, platform processor and TAU profile.
+type Rank struct {
+	world *World
+	rank  int
+
+	// Comm is the rank's MPI_COMM_WORLD analog.
+	Comm *Comm
+	// Proc is the rank's simulated processor (clock, cache, RNG, heap).
+	Proc *platform.Proc
+	// Prof is the rank's TAU measurement context. MPI timers appear here
+	// under group "MPI".
+	Prof *tau.Profile
+}
+
+// Rank returns this context's world rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// NewWorld builds the simulated machine. It panics on a non-positive rank
+// count, mirroring an mpirun misconfiguration.
+func NewWorld(cfg WorldConfig) *World {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", cfg.Procs))
+	}
+	if cfg.InitUS == 0 {
+		cfg.InitUS = 600_000
+	}
+	if cfg.FinalizeUS == 0 {
+		cfg.FinalizeUS = 140_000
+	}
+	w := &World{
+		cfg:        cfg,
+		current:    -1,
+		mailboxes:  make(map[mailKey][]*message),
+		colls:      make(map[int]*collState),
+		nextCommID: 1,
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x51ca5e)),
+		status:     make([]int, cfg.Procs),
+		blocked:    make([]func() bool, cfg.Procs),
+		panics:     make([]error, cfg.Procs),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	group := make([]int, cfg.Procs)
+	for i := range group {
+		group[i] = i
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		proc := platform.NewProc(i, cfg.CPU, cfg.Cache, cfg.Seed)
+		prof := tau.NewProfile(proc.Now)
+		prof.RegisterMetric("PAPI_L2_DCM", func() float64 { return float64(proc.Counters().L2DCM) })
+		prof.RegisterMetric("PAPI_FP_OPS", func() float64 { return float64(proc.Counters().FPOps) })
+		r := &Rank{world: w, rank: i, Proc: proc, Prof: prof}
+		r.Comm = &Comm{world: w, id: 0, rank: i, group: group, r: r}
+		w.ranks = append(w.ranks, r)
+		w.status[i] = stReady
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.Procs }
+
+// Config returns the world's configuration.
+func (w *World) Config() WorldConfig { return w.cfg }
+
+// Ranks returns the per-rank contexts (valid after Run for inspection).
+func (w *World) Ranks() []*Rank { return w.ranks }
+
+// Profiles returns the per-rank TAU profiles, in rank order.
+func (w *World) Profiles() []*tau.Profile {
+	out := make([]*tau.Profile, len(w.ranks))
+	for i, r := range w.ranks {
+		out[i] = r.Prof
+	}
+	return out
+}
+
+// Procs returns the per-rank platform processors, in rank order.
+func (w *World) Procs() []*platform.Proc {
+	out := make([]*platform.Proc, len(w.ranks))
+	for i, r := range w.ranks {
+		out[i] = r.Proc
+	}
+	return out
+}
+
+// abortPanic is the sentinel thrown to unwind ranks parked inside MPI when
+// the world aborts (deadlock or another rank's panic). It carries no
+// diagnostic value of its own and never masks the original error.
+type abortPanic struct{}
+
+// Run executes body once per rank (SCMD) and blocks until every rank
+// finishes. It returns the first rank panic as an error, or a deadlock
+// error if all live ranks blocked on unsatisfiable conditions. A World can
+// only be Run once.
+func (w *World) Run(body func(*Rank)) error {
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Procs; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				e := recover()
+				w.mu.Lock()
+				if _, isAbort := e.(abortPanic); e != nil && !isAbort {
+					w.panics[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, e, debug.Stack())
+					w.aborted = true
+				}
+				w.status[rank] = stDone
+				w.blocked[rank] = nil
+				w.advanceLocked()
+				w.mu.Unlock()
+			}()
+			func() {
+				w.mu.Lock()
+				defer w.mu.Unlock()
+				w.waitForTurnLocked(rank)
+			}()
+			body(w.ranks[rank])
+		}(i)
+	}
+	w.mu.Lock()
+	w.advanceLocked()
+	w.mu.Unlock()
+	wg.Wait()
+	for _, err := range w.panics {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitForTurnLocked blocks until the scheduler grants this rank the token.
+func (w *World) waitForTurnLocked(rank int) {
+	for w.current != rank {
+		if w.aborted {
+			panic(abortPanic{})
+		}
+		w.cond.Wait()
+	}
+	w.status[rank] = stRunning
+}
+
+// blockOn parks the running rank until pred() holds, handing the token to
+// the runnable rank with the smallest virtual clock meanwhile.
+// Caller must hold w.mu and be the current rank.
+func (w *World) blockOn(rank int, pred func() bool) {
+	if pred() {
+		return
+	}
+	w.status[rank] = stBlocked
+	w.blocked[rank] = pred
+	w.advanceLocked()
+	w.waitForTurnLocked(rank)
+	w.blocked[rank] = nil
+}
+
+// advanceLocked promotes blocked ranks whose predicates now hold and grants
+// the token to the ready rank with the smallest (clock, rank). If no rank
+// can run and not all are done, the world is deadlocked: every parked rank
+// is woken into a panic.
+func (w *World) advanceLocked() {
+	if w.aborted {
+		w.current = -1
+		w.cond.Broadcast()
+		return
+	}
+	for r := range w.status {
+		if w.status[r] == stBlocked && w.blocked[r]() {
+			w.status[r] = stReady
+		}
+	}
+	next, best := -1, 0.0
+	allDone := true
+	for r := range w.status {
+		switch w.status[r] {
+		case stReady:
+			allDone = false
+			t := w.ranks[r].Proc.Now()
+			if next == -1 || t < best {
+				next, best = r, t
+			}
+		case stBlocked, stRunning:
+			allDone = false
+		}
+	}
+	w.current = next
+	if next == -1 && !allDone {
+		// Every live rank is blocked: deadlock. Abort the world so the
+		// parked goroutines panic with diagnostics instead of hanging.
+		w.aborted = true
+		for r := range w.status {
+			if w.status[r] == stBlocked {
+				w.panics[r] = fmt.Errorf("mpi: deadlock: rank %d blocked at t=%.3fus with no matching communication", r, w.ranks[r].Proc.Now())
+			}
+		}
+	}
+	w.cond.Broadcast()
+}
+
+// enqueueLocked places a message in a mailbox.
+func (w *World) enqueueLocked(key mailKey, m *message) {
+	w.seq++
+	m.seq = w.seq
+	w.mailboxes[key] = append(w.mailboxes[key], m)
+}
+
+// matchLocked removes and returns the first message matching (src, tag) in
+// FIFO order, or nil.
+func (w *World) matchLocked(key mailKey, src, tag int) *message {
+	box := w.mailboxes[key]
+	for i, m := range box {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			w.mailboxes[key] = append(box[:i:i], box[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// hasMatchLocked reports whether a matching message is queued.
+func (w *World) hasMatchLocked(key mailKey, src, tag int) bool {
+	for _, m := range w.mailboxes[key] {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MultiLin is a multiple linear model y = c0 + c1*x1 + ... + ck*xk over
+// named features — the paper's Section 6 outlook ("the coefficients should
+// be parameterized by processor speed and a cache model... the cache
+// information collected during these tests will be employed") realized by
+// regressing time against both the array size and the recorded cache-miss
+// counts (PAPI_L2_DCM deltas).
+type MultiLin struct {
+	// Names labels the features (without the intercept).
+	Names []string
+	// Coeffs holds the intercept followed by one coefficient per feature.
+	Coeffs []float64
+}
+
+// PredictVec evaluates the model on a feature vector (len == len(Names)).
+func (m MultiLin) PredictVec(x []float64) float64 {
+	s := m.Coeffs[0]
+	for i, v := range x {
+		s += m.Coeffs[i+1] * v
+	}
+	return s
+}
+
+// String renders e.g. "12.3 + 0.05*Q + 0.21*DCM".
+func (m MultiLin) String() string {
+	parts := []string{fmt.Sprintf("%.4g", m.Coeffs[0])}
+	for i, n := range m.Names {
+		parts = append(parts, fmt.Sprintf("%+.4g*%s", m.Coeffs[i+1], n))
+	}
+	return strings.Join(parts, " ")
+}
+
+// MultiLinFit fits y = c0 + Σ ci*xi by least squares. rows holds one
+// feature vector per sample. Features are internally rescaled for
+// conditioning.
+func MultiLinFit(names []string, rows [][]float64, y []float64) (MultiLin, error) {
+	k := len(names)
+	n := k + 1
+	if len(rows) != len(y) {
+		return MultiLin{}, fmt.Errorf("perfmodel: rows/y length mismatch %d/%d", len(rows), len(y))
+	}
+	if len(rows) < n {
+		return MultiLin{}, fmt.Errorf("perfmodel: %d samples cannot fit %d coefficients", len(rows), n)
+	}
+	scale := make([]float64, k)
+	for _, r := range rows {
+		if len(r) != k {
+			return MultiLin{}, fmt.Errorf("perfmodel: feature vector length %d, want %d", len(r), k)
+		}
+		for j, v := range r {
+			if math.Abs(v) > scale[j] {
+				scale[j] = math.Abs(v)
+			}
+		}
+	}
+	for j := range scale {
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	b := make([]float64, n)
+	feat := make([]float64, n)
+	for s, r := range rows {
+		feat[0] = 1
+		for j, v := range r {
+			feat[j+1] = v / scale[j]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] += feat[i] * feat[j]
+			}
+			b[i] += feat[i] * y[s]
+		}
+	}
+	ct, err := solveLinear(a, b)
+	if err != nil {
+		return MultiLin{}, err
+	}
+	coeffs := make([]float64, n)
+	coeffs[0] = ct[0]
+	for j := 0; j < k; j++ {
+		coeffs[j+1] = ct[j+1] / scale[j]
+	}
+	nm := make([]string, k)
+	copy(nm, names)
+	return MultiLin{Names: nm, Coeffs: coeffs}, nil
+}
+
+// R2Multi returns the coefficient of determination of a multivariate model.
+func R2Multi(m MultiLin, rows [][]float64, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - m.PredictVec(rows[i])
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

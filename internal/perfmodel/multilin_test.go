@@ -1,0 +1,124 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiLinFitRecoversExactPlane(t *testing.T) {
+	// y = 5 + 0.3*Q + 0.02*DCM
+	var rows [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		q := rng.Float64() * 1e5
+		dcm := rng.Float64() * 1e6
+		rows = append(rows, []float64{q, dcm})
+		y = append(y, 5+0.3*q+0.02*dcm)
+	}
+	m, err := MultiLinFit([]string{"Q", "DCM"}, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 0.3, 0.02}
+	for i, w := range want {
+		if math.Abs(m.Coeffs[i]-w) > 1e-6*(1+math.Abs(w)) {
+			t.Errorf("coeff %d = %g, want %g", i, m.Coeffs[i], w)
+		}
+	}
+	if r2 := R2Multi(m, rows, y); r2 < 0.999999 {
+		t.Errorf("R2 = %g on exact data", r2)
+	}
+	s := m.String()
+	if !strings.Contains(s, "*Q") || !strings.Contains(s, "*DCM") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMultiLinFitErrors(t *testing.T) {
+	if _, err := MultiLinFit([]string{"a"}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MultiLinFit([]string{"a", "b"}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	if _, err := MultiLinFit([]string{"a", "b"}, [][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}); err == nil {
+		t.Error("short feature vector accepted")
+	}
+}
+
+func TestMultiLinBeatsUnivariateOnBimodalData(t *testing.T) {
+	// Construct the States situation: the same Q costs differently in the
+	// two modes, but the mode is fully explained by the miss count.
+	var rows [][]float64
+	var qOnly, y []float64
+	for q := 1000.0; q <= 64000; q *= 2 {
+		for rep := 0; rep < 4; rep++ {
+			// sequential: few misses; strided: many
+			seqMiss := q / 8
+			strMiss := q * 0.9
+			rows = append(rows, []float64{q, seqMiss})
+			qOnly = append(qOnly, q)
+			y = append(y, 0.02*q+0.05*seqMiss)
+			rows = append(rows, []float64{q, strMiss})
+			qOnly = append(qOnly, q)
+			y = append(y, 0.02*q+0.05*strMiss)
+		}
+	}
+	ml, err := MultiLinFit([]string{"Q", "DCM"}, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := LinFit(qOnly, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2Multi := R2Multi(ml, rows, y)
+	r2Uni := R2(uni, qOnly, y)
+	if r2Multi < 0.999999 {
+		t.Errorf("cache-aware R2 = %g, want ~1 (DCM explains the mode)", r2Multi)
+	}
+	if r2Uni >= r2Multi {
+		t.Errorf("univariate R2 %g should be below multivariate %g", r2Uni, r2Multi)
+	}
+}
+
+func TestR2MultiDegenerate(t *testing.T) {
+	m := MultiLin{Names: []string{"x"}, Coeffs: []float64{1, 0}}
+	if got := R2Multi(m, nil, nil); got != 0 {
+		t.Errorf("empty R2Multi = %g", got)
+	}
+	rows := [][]float64{{1}, {2}}
+	if got := R2Multi(MultiLin{Names: []string{"x"}, Coeffs: []float64{5, 0}}, rows, []float64{5, 5}); got != 1 {
+		t.Errorf("perfect constant R2Multi = %g", got)
+	}
+}
+
+// Property: MultiLinFit with a single feature agrees with LinFit.
+func TestPropertyMultiLinMatchesLinFit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rows [][]float64
+		var x, y []float64
+		for i := 0; i < 20; i++ {
+			q := rng.Float64() * 1000
+			v := 3 + 2*q + rng.NormFloat64()
+			rows = append(rows, []float64{q})
+			x = append(x, q)
+			y = append(y, v)
+		}
+		ml, err1 := MultiLinFit([]string{"x"}, rows, y)
+		lin, err2 := LinFit(x, y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(ml.Coeffs[0]-lin.Coeffs[0]) < 1e-6 &&
+			math.Abs(ml.Coeffs[1]-lin.Coeffs[1]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

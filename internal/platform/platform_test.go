@@ -1,0 +1,222 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func newTestProc() *Proc {
+	return NewProc(0, XeonModel(), cache.XeonL2(), 42)
+}
+
+func TestClockStartsAtZero(t *testing.T) {
+	p := newTestProc()
+	if p.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", p.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	p := newTestProc()
+	p.Advance(1.5)
+	p.Advance(2.5)
+	if got := p.Now(); got != 4.0 {
+		t.Errorf("Now() = %g, want 4", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	newTestProc().Advance(-1)
+}
+
+func TestSyncTo(t *testing.T) {
+	p := newTestProc()
+	p.Advance(10)
+	if got := p.SyncTo(5); got != 10 {
+		t.Errorf("SyncTo(past) = %g, want clock unchanged at 10", got)
+	}
+	if got := p.SyncTo(25); got != 25 {
+		t.Errorf("SyncTo(future) = %g, want 25", got)
+	}
+}
+
+func TestCyclesToMicros(t *testing.T) {
+	m := XeonModel() // 2.8 GHz => 2800 cycles per microsecond
+	if got := m.CyclesToMicros(2800); got != 1.0 {
+		t.Errorf("2800 cycles = %g us, want 1", got)
+	}
+}
+
+func TestAdvanceCycles(t *testing.T) {
+	p := newTestProc()
+	p.AdvanceCycles(5600)
+	if got := p.Now(); got != 2.0 {
+		t.Errorf("Now() after 5600 cycles = %g us, want 2", got)
+	}
+}
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	p := newTestProc()
+	a := p.Alloc(100)
+	b := p.Alloc(1)
+	c := p.Alloc(0)
+	for _, addr := range []uint64{a, b, c} {
+		if addr%lineAlign != 0 {
+			t.Errorf("allocation %#x not %d-byte aligned", addr, lineAlign)
+		}
+	}
+	if b < a+100 {
+		t.Errorf("allocations overlap: a=%#x(+100) b=%#x", a, b)
+	}
+	if a < baseAddr {
+		t.Errorf("first allocation %#x below heap base %#x", a, uint64(baseAddr))
+	}
+}
+
+func TestAllocNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Alloc did not panic")
+		}
+	}()
+	newTestProc().Alloc(-1)
+}
+
+func TestChargeFlops(t *testing.T) {
+	p := newTestProc()
+	p.ChargeFlops(2800) // 2 cycles/flop => 5600 cycles => 2 us
+	if got := p.Now(); got != 2.0 {
+		t.Errorf("Now() = %g, want 2", got)
+	}
+	if got := p.Counters().FPOps; got != 2800 {
+		t.Errorf("FPOps = %d, want 2800", got)
+	}
+	p.ChargeFlops(0)
+	p.ChargeFlops(-3)
+	if got := p.Counters().FPOps; got != 2800 {
+		t.Errorf("FPOps after no-op charges = %d, want 2800", got)
+	}
+}
+
+func TestChargeStreamAdvancesClockAndCounters(t *testing.T) {
+	p := newTestProc()
+	base := p.Alloc(8 * 1024)
+	before := p.Now()
+	hits, misses := p.ChargeStream(base, 1024, 8)
+	if hits+misses != 1024 {
+		t.Fatalf("hits+misses = %d, want 1024", hits+misses)
+	}
+	if p.Now() <= before {
+		t.Error("clock did not advance for stream")
+	}
+	ctr := p.Counters()
+	if ctr.L2DCA != 1024 {
+		t.Errorf("L2DCA = %d, want 1024", ctr.L2DCA)
+	}
+	if ctr.L2DCM != misses {
+		t.Errorf("L2DCM = %d, want %d", ctr.L2DCM, misses)
+	}
+}
+
+func TestStridedStreamCostsMoreThanSequential(t *testing.T) {
+	// Same element count, cold cache both times, large array: strided must
+	// be substantially more expensive (the Fig. 4/5 mechanism).
+	n := 64 * 1024 // 512 kB of doubles: fills the cache
+	seq := newTestProc()
+	base := seq.Alloc(n * 8)
+	seq.ChargeStream(base, n, 8)
+	seqTime := seq.Now()
+
+	str := newTestProc()
+	base2 := str.Alloc(n * 64)
+	str.ChargeStream(base2, n, 512) // 64-double stride: new line every access
+	strTime := str.Now()
+
+	if strTime < 2*seqTime {
+		t.Errorf("strided time %g not >> sequential time %g", strTime, seqTime)
+	}
+}
+
+func TestChargeCall(t *testing.T) {
+	p := newTestProc()
+	p.ChargeCall()
+	want := XeonModel().CyclesToMicros(XeonModel().CallCycles)
+	if got := p.Now(); got != want {
+		t.Errorf("call overhead = %g, want %g", got, want)
+	}
+}
+
+func TestRankSeparatesRNGStreams(t *testing.T) {
+	p0 := NewProc(0, XeonModel(), cache.XeonL2(), 7)
+	p1 := NewProc(1, XeonModel(), cache.XeonL2(), 7)
+	same := true
+	for i := 0; i < 8; i++ {
+		if p0.RNG().Float64() != p1.RNG().Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("ranks 0 and 1 produced identical random streams")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (Time, Counters) {
+		p := NewProc(2, XeonModel(), cache.XeonL2(), 99)
+		b := p.Alloc(1 << 16)
+		p.ChargeStream(b, 4096, 8)
+		p.ChargeFlops(1000)
+		p.ChargeStream(b, 4096, 128)
+		return p.Now(), p.Counters()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 || c1 != c2 {
+		t.Errorf("non-deterministic platform: (%g,%+v) vs (%g,%+v)", t1, c1, t2, c2)
+	}
+}
+
+// Property: the clock is monotone under any sequence of charges.
+func TestPropertyClockMonotone(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := newTestProc()
+		base := p.Alloc(1 << 20)
+		prev := p.Now()
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				p.ChargeFlops(int(op))
+			case 1:
+				p.ChargeStream(base, int(op), 8)
+			case 2:
+				p.ChargeStream(base, int(op), 256)
+			case 3:
+				p.ChargeCall()
+			}
+			if p.Now() < prev {
+				return false
+			}
+			prev = p.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamCyclesPrefetchDiscount(t *testing.T) {
+	m := XeonModel()
+	seq := m.StreamCycles(0, 100, true)
+	str := m.StreamCycles(0, 100, false)
+	if seq >= str {
+		t.Errorf("sequential miss cycles %g should be < strided %g", seq, str)
+	}
+}

@@ -1,0 +1,62 @@
+package tau
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteEventSummary(t *testing.T) {
+	p, _ := newProfile()
+	p.TriggerEvent("Message size sent", 128)
+	p.TriggerEvent("Message size sent", 512)
+	p.TriggerEvent("AdaptiveFlux switch", 1024)
+	var sb strings.Builder
+	if err := p.WriteEventSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"USER EVENTS:", "NumSamples", "Std. Dev.",
+		"Message size sent", "AdaptiveFlux switch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("event summary missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "320") { // mean of 128 and 512
+		t.Errorf("event mean not rendered:\n%s", out)
+	}
+}
+
+func TestWriteProfileCombinesSections(t *testing.T) {
+	p, c := newProfile()
+	p.Start("main()", "APP")
+	c.tick(1000)
+	p.Stop("main()")
+	p.TriggerEvent("bytes", 64)
+	var sb strings.Builder
+	if err := p.WriteProfile(&sb, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FUNCTION SUMMARY (rank 2):") {
+		t.Errorf("missing rank header:\n%s", out)
+	}
+	if !strings.Contains(out, "USER EVENTS:") {
+		t.Errorf("missing events section:\n%s", out)
+	}
+}
+
+func TestWriteProfileWithoutEvents(t *testing.T) {
+	p, c := newProfile()
+	p.Start("main()", "APP")
+	c.tick(10)
+	p.Stop("main()")
+	var sb strings.Builder
+	if err := p.WriteProfile(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "USER EVENTS:") {
+		t.Error("event section printed with no events")
+	}
+}
