@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/assembly"
+	"repro/internal/campaign"
 	"repro/internal/components"
 	"repro/internal/harness"
 	"repro/internal/mpi"
@@ -37,6 +39,28 @@ type (
 	// Optimizer selects among component implementations by predicted cost
 	// under a Quality-of-Service floor.
 	Optimizer = assembly.Optimizer
+
+	// CampaignJob is one schedulable experiment (a self-contained
+	// simulated-machine run) in a campaign's job graph.
+	CampaignJob = campaign.Job
+	// CampaignConfig tunes campaign execution: worker count, fail-fast,
+	// progress reporting. Worker count never changes results.
+	CampaignConfig = campaign.Config
+	// CampaignResult is one job's outcome, in submission order.
+	CampaignResult = campaign.Result
+	// CampaignEvent is one serialized progress report.
+	CampaignEvent = campaign.Event
+	// Grid cross-products world parameters (ranks x network x cache x seed
+	// replications) into scenario sets.
+	Grid = campaign.Grid
+	// Scenario is one expanded grid point with its derived seed.
+	Scenario = campaign.Scenario
+	// NamedNet labels an interconnect model for scenario keys.
+	NamedNet = campaign.NamedNet
+	// GridSweep is one grid scenario's sweep result and fitted model.
+	GridSweep = harness.GridSweep
+	// CachePoint is one cache-size sample of the Section 6 study.
+	CachePoint = harness.CachePoint
 )
 
 // Measured kernels.
@@ -80,4 +104,42 @@ func BuildDual(res *CaseStudyResult, models map[Kernel]*ComponentModel) *Dual {
 // for the optimizer.
 func FluxSlot(vertex string, godunov, efm *ComponentModel) assembly.Slot {
 	return harness.FluxSlot(vertex, godunov, efm)
+}
+
+// RunCampaign executes a job graph on a worker pool and returns results in
+// submission order; results are byte-identical for any worker count.
+func RunCampaign(ctx context.Context, cfg CampaignConfig, jobs []CampaignJob) ([]CampaignResult, error) {
+	return campaign.Run(ctx, cfg, jobs)
+}
+
+// DeriveSeed maps a campaign base seed and a stable job key to that job's
+// machine seed, independent of scheduling.
+func DeriveSeed(base int64, key string) int64 { return campaign.DeriveSeed(base, key) }
+
+// SweepJob wraps RunSweep as a campaign job.
+func SweepJob(key string, cfg SweepConfig) CampaignJob { return harness.SweepJob(key, cfg) }
+
+// CaseStudyJob wraps RunCaseStudy as a campaign job.
+func CaseStudyJob(key string, cfg CaseStudyConfig) CampaignJob {
+	return harness.CaseStudyJob(key, cfg)
+}
+
+// ModelJob fits Eq. 1/2 models to the sweep job named sweepKey.
+func ModelJob(key, sweepKey string) CampaignJob { return harness.ModelJob(key, sweepKey) }
+
+// RunSweeps measures several kernels concurrently as one campaign.
+func RunSweeps(ctx context.Context, cc CampaignConfig, cfgs []SweepConfig) ([]*SweepResult, error) {
+	return harness.RunSweeps(ctx, cc, cfgs)
+}
+
+// RunCacheStudy refits a kernel's model under each cache size (in kB),
+// one parallel campaign job per size.
+func RunCacheStudy(ctx context.Context, cc CampaignConfig, base SweepConfig, cacheKBs []int) ([]CachePoint, error) {
+	return harness.RunCacheStudyCampaign(ctx, cc, base, cacheKBs)
+}
+
+// RunSweepGrid expands a scenario grid into sweep-and-fit jobs and runs
+// them as one campaign.
+func RunSweepGrid(ctx context.Context, cc CampaignConfig, base SweepConfig, g Grid) ([]GridSweep, error) {
+	return harness.RunSweepGrid(ctx, cc, base, g)
 }

@@ -11,9 +11,16 @@
 //	fig8  EFMFlux mean/sigma vs Q with fits                  -> fig8.csv fig8_model.txt
 //	fig9  per-level ghost-update communication times         -> fig9.csv
 //	fig10 composite-model dual graph + assembly optimization -> fig10.dot fig10.txt
+//
+// The whole regeneration is submitted as one campaign: the case study, the
+// three kernel sweeps and the model fits are independent simulated-machine
+// jobs wired into a dependency graph and executed by a worker pool
+// (-workers). Output files are byte-identical for a fixed seed regardless
+// of worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,16 +29,18 @@ import (
 	"strings"
 
 	"repro/internal/assembly"
+	"repro/internal/campaign"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1..10 or all")
-		outDir = flag.String("out", "figures", "output directory")
-		procs  = flag.Int("procs", 3, "simulated ranks")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		reps   = flag.Int("reps", 4, "sweep repetitions per size and mode")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1..10 or all")
+		outDir  = flag.String("out", "figures", "output directory")
+		procs   = flag.Int("procs", 3, "simulated ranks")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		reps    = flag.Int("reps", 4, "sweep repetitions per size and mode")
+		workers = flag.Int("workers", 0, "campaign workers (0 = all CPUs)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -40,30 +49,20 @@ func main() {
 	g := &generator{outDir: *outDir, procs: *procs, seed: *seed, reps: *reps}
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
-	if want("1") || want("2") || want("3") || want("9") || want("10") {
-		if err := g.runCaseStudy(); err != nil {
-			fatal(err)
-		}
+	jobs := g.jobs(want)
+	if len(jobs) == 0 {
+		fatal(fmt.Errorf("nothing to do for -fig %s", *fig))
 	}
-	steps := []struct {
-		name string
-		run  func() error
-	}{
-		{"1", g.fig1}, {"2", g.fig2}, {"3", g.fig3},
-		{"4", g.fig45}, {"5", func() error { return nil }}, // fig5 written with fig4
-		{"6", func() error { return g.figModel(harness.KernelStates, "fig6") }},
-		{"7", func() error { return g.figModel(harness.KernelGodunov, "fig7") }},
-		{"8", func() error { return g.figModel(harness.KernelEFM, "fig8") }},
-		{"9", g.fig9}, {"10", g.fig10},
-	}
-	for _, s := range steps {
-		if !want(s.name) {
-			continue
-		}
-		if err := s.run(); err != nil {
-			fatal(fmt.Errorf("fig%s: %w", s.name, err))
-		}
-		fmt.Printf("fig%s done\n", s.name)
+	_, err := campaign.Run(context.Background(), campaign.Config{
+		Workers: *workers,
+		OnProgress: func(e campaign.Event) {
+			if strings.HasPrefix(e.Key, "fig") && e.Err == nil {
+				fmt.Printf("%s done\n", e.Key)
+			}
+		},
+	}, jobs)
+	if err != nil {
+		fatal(err)
 	}
 }
 
@@ -77,60 +76,105 @@ type generator struct {
 	procs  int
 	seed   int64
 	reps   int
-
-	caseRes *harness.CaseStudyResult
-	sweeps  map[harness.Kernel]*harness.SweepResult
-	models  map[harness.Kernel]*harness.ComponentModel
 }
 
-func (g *generator) runCaseStudy() error {
-	cfg := harness.DefaultCaseStudy()
-	cfg.World.Procs = g.procs
-	cfg.World.Seed = g.seed
-	res, err := harness.RunCaseStudy(cfg)
-	if err != nil {
-		return err
+// jobs assembles the campaign graph for the wanted figures: measurement
+// jobs (case study, sweeps), fit jobs hanging off the sweeps, and figure
+// jobs hanging off whichever results they render.
+func (g *generator) jobs(want func(string) bool) []campaign.Job {
+	needCase := want("1") || want("2") || want("3") || want("9") || want("10")
+	needModel := map[harness.Kernel]bool{
+		harness.KernelStates:  want("6") || want("10"),
+		harness.KernelGodunov: want("7") || want("10"),
+		harness.KernelEFM:     want("8") || want("10"),
 	}
-	g.caseRes = res
-	return nil
-}
+	needSweep := map[harness.Kernel]bool{
+		harness.KernelStates:  want("4") || want("5") || needModel[harness.KernelStates],
+		harness.KernelGodunov: needModel[harness.KernelGodunov],
+		harness.KernelEFM:     needModel[harness.KernelEFM],
+	}
+	sweepKey := func(k harness.Kernel) string { return "sweep/" + string(k) }
+	modelKey := func(k harness.Kernel) string { return "model/" + string(k) }
 
-func (g *generator) sweep(k harness.Kernel) (*harness.SweepResult, error) {
-	if g.sweeps == nil {
-		g.sweeps = map[harness.Kernel]*harness.SweepResult{}
+	var jobs []campaign.Job
+	if needCase {
+		cfg := harness.DefaultCaseStudy()
+		cfg.World.Procs = g.procs
+		cfg.World.Seed = g.seed
+		jobs = append(jobs, harness.CaseStudyJob("case", cfg))
 	}
-	if s, ok := g.sweeps[k]; ok {
-		return s, nil
+	for _, k := range []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM} {
+		if !needSweep[k] {
+			continue
+		}
+		cfg := harness.DefaultSweep(k)
+		cfg.World.Procs = g.procs
+		cfg.World.Seed = g.seed
+		cfg.Reps = g.reps
+		jobs = append(jobs, harness.SweepJob(sweepKey(k), cfg))
+		if needModel[k] {
+			jobs = append(jobs, harness.ModelJob(modelKey(k), sweepKey(k)))
+		}
 	}
-	cfg := harness.DefaultSweep(k)
-	cfg.World.Procs = g.procs
-	cfg.World.Seed = g.seed
-	cfg.Reps = g.reps
-	s, err := harness.RunSweep(cfg)
-	if err != nil {
-		return nil, err
-	}
-	g.sweeps[k] = s
-	return s, nil
-}
 
-func (g *generator) model(k harness.Kernel) (*harness.ComponentModel, error) {
-	if g.models == nil {
-		g.models = map[harness.Kernel]*harness.ComponentModel{}
+	caseOf := func(deps map[string]any) *harness.CaseStudyResult {
+		return deps["case"].(*harness.CaseStudyResult)
 	}
-	if m, ok := g.models[k]; ok {
-		return m, nil
+	figJob := func(name string, after []string, run func(deps map[string]any) error) campaign.Job {
+		return campaign.Job{Key: name, After: after,
+			Run: func(_ context.Context, deps map[string]any) (any, error) {
+				return nil, run(deps)
+			}}
 	}
-	s, err := g.sweep(k)
-	if err != nil {
-		return nil, err
+	add := func(n string, after []string, run func(deps map[string]any) error) {
+		if want(n) {
+			jobs = append(jobs, figJob("fig"+n, after, run))
+		}
 	}
-	m, err := harness.FitModels(s)
-	if err != nil {
-		return nil, err
+
+	add("1", []string{"case"}, func(deps map[string]any) error {
+		return g.write("fig1.pgm", caseOf(deps).WritePGM)
+	})
+	add("2", []string{"case"}, func(deps map[string]any) error {
+		return g.write("fig2.dot", func(f io.Writer) error {
+			_, err := io.WriteString(f, caseOf(deps).AssemblyDOT)
+			return err
+		})
+	})
+	add("3", []string{"case"}, func(deps map[string]any) error {
+		return g.write("fig3.txt", caseOf(deps).WriteProfile)
+	})
+	add("4", []string{sweepKey(harness.KernelStates)}, func(deps map[string]any) error {
+		s := deps[sweepKey(harness.KernelStates)].(*harness.SweepResult)
+		return g.write("fig4.csv", s.WriteScatterCSV)
+	})
+	add("5", []string{sweepKey(harness.KernelStates)}, func(deps map[string]any) error {
+		s := deps[sweepKey(harness.KernelStates)].(*harness.SweepResult)
+		return g.write("fig5.csv", s.WriteRatiosCSV)
+	})
+	for _, fk := range []struct {
+		n string
+		k harness.Kernel
+	}{
+		{"6", harness.KernelStates}, {"7", harness.KernelGodunov}, {"8", harness.KernelEFM},
+	} {
+		n, k := fk.n, fk.k
+		add(n, []string{modelKey(k)}, func(deps map[string]any) error {
+			return g.figModel(deps[modelKey(k)].(*harness.ComponentModel), "fig"+n)
+		})
 	}
-	g.models[k] = m
-	return m, nil
+	add("9", []string{"case"}, func(deps map[string]any) error {
+		return g.write("fig9.csv", caseOf(deps).WriteGhostCommCSV)
+	})
+	add("10", []string{"case", modelKey(harness.KernelStates), modelKey(harness.KernelGodunov), modelKey(harness.KernelEFM)},
+		func(deps map[string]any) error {
+			models := map[harness.Kernel]*harness.ComponentModel{}
+			for _, k := range []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM} {
+				models[k] = deps[modelKey(k)].(*harness.ComponentModel)
+			}
+			return g.fig10(caseOf(deps), models)
+		})
+	return jobs
 }
 
 func (g *generator) write(name string, fn func(f io.Writer) error) error {
@@ -142,37 +186,7 @@ func (g *generator) write(name string, fn func(f io.Writer) error) error {
 	return fn(f)
 }
 
-func (g *generator) fig1() error {
-	return g.write("fig1.pgm", g.caseRes.WritePGM)
-}
-
-func (g *generator) fig2() error {
-	return g.write("fig2.dot", func(f io.Writer) error {
-		_, err := io.WriteString(f, g.caseRes.AssemblyDOT)
-		return err
-	})
-}
-
-func (g *generator) fig3() error {
-	return g.write("fig3.txt", g.caseRes.WriteProfile)
-}
-
-func (g *generator) fig45() error {
-	s, err := g.sweep(harness.KernelStates)
-	if err != nil {
-		return err
-	}
-	if err := g.write("fig4.csv", s.WriteScatterCSV); err != nil {
-		return err
-	}
-	return g.write("fig5.csv", s.WriteRatiosCSV)
-}
-
-func (g *generator) figModel(k harness.Kernel, name string) error {
-	m, err := g.model(k)
-	if err != nil {
-		return err
-	}
+func (g *generator) figModel(m *harness.ComponentModel, name string) error {
 	if err := g.write(name+".csv", func(f io.Writer) error {
 		return harness.WriteMeanSigmaCSV(f, m)
 	}); err != nil {
@@ -183,23 +197,10 @@ func (g *generator) figModel(k harness.Kernel, name string) error {
 	})
 }
 
-func (g *generator) fig9() error {
-	return g.write("fig9.csv", g.caseRes.WriteGhostCommCSV)
-}
-
-func (g *generator) fig10() error {
-	god, err := g.model(harness.KernelGodunov)
-	if err != nil {
-		return err
-	}
-	efm, err := g.model(harness.KernelEFM)
-	if err != nil {
-		return err
-	}
-	if _, err := g.model(harness.KernelStates); err != nil {
-		return err
-	}
-	dual := harness.BuildDual(g.caseRes, g.models)
+func (g *generator) fig10(caseRes *harness.CaseStudyResult, models map[harness.Kernel]*harness.ComponentModel) error {
+	god := models[harness.KernelGodunov]
+	efm := models[harness.KernelEFM]
+	dual := harness.BuildDual(caseRes, models)
 	if err := g.write("fig10.dot", func(f io.Writer) error {
 		return dual.WriteDOT(f, "application-dual")
 	}); err != nil {
@@ -234,7 +235,7 @@ func (g *generator) fig10() error {
 		// large arrays", paper Section 5).
 		fmt.Fprintf(&sb, "optimal flux vs workload size (model-guided):\n")
 		for _, q := range []float64{200, 1_000, 10_000, 100_000} {
-			trial := harness.BuildDual(g.caseRes, g.models)
+			trial := harness.BuildDual(caseRes, models)
 			for _, name := range []string{"g_proxy", "sc_proxy", "efm_proxy"} {
 				if v := trial.Vertex(name); v != nil {
 					nv := *v

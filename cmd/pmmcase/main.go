@@ -6,10 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/components"
 	"repro/internal/harness"
 )
@@ -25,6 +27,7 @@ func main() {
 		records = flag.Bool("records", false, "dump the Mastermind records (CSV)")
 		cacheSt = flag.Bool("cachestudy", false, "refit the States model under 128kB/512kB/1MB caches and fit the cache-aware T(Q,DCM) model (paper Section 6 outlook)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -76,26 +79,36 @@ func main() {
 		}
 	}
 
+	cc := campaign.Config{Workers: *workers}
+
 	if *cacheSt {
 		fmt.Println()
 		scfg := harness.DefaultSweep(harness.KernelStates)
 		scfg.World.Procs = *procs
 		scfg.World.Seed = *seed
 		scfg.Reps = 2
-		pts, err := harness.RunCacheStudy(scfg, []int{128, 512, 1024})
+		// The refit runs and the cache-aware base sweep are independent
+		// simulated machines: one campaign, parallel workers.
+		sizes := []int{128, 512, 1024}
+		jobs := make([]campaign.Job, 0, len(sizes)+1)
+		for _, kb := range sizes {
+			jobs = append(jobs, harness.CachePointJob(fmt.Sprintf("cache/%dkB", kb), scfg, kb))
+		}
+		jobs = append(jobs, harness.SweepJob("sweep/aware", scfg))
+		res, err := campaign.Run(context.Background(), cc, jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		pts := make([]harness.CachePoint, len(sizes))
+		for i := range pts {
+			pts[i] = res[i].Value.(harness.CachePoint)
 		}
 		if err := harness.WriteCacheStudy(os.Stdout, harness.KernelStates, pts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		sw, err := harness.RunSweep(scfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		sw := res[len(sizes)].Value.(*harness.SweepResult)
 		ml, r2Aware, r2Plain, err := harness.CacheAwareFit(sw)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -107,15 +120,19 @@ func main() {
 
 	if *models {
 		fmt.Println()
-		for _, k := range []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM} {
-			scfg := harness.DefaultSweep(k)
-			scfg.World.Procs = *procs
-			scfg.World.Seed = *seed
-			sw, err := harness.RunSweep(scfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+		kernels := []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM}
+		cfgs := make([]harness.SweepConfig, len(kernels))
+		for i, k := range kernels {
+			cfgs[i] = harness.DefaultSweep(k)
+			cfgs[i].World.Procs = *procs
+			cfgs[i].World.Seed = *seed
+		}
+		sweeps, err := harness.RunSweeps(context.Background(), cc, cfgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, sw := range sweeps {
 			cm, err := harness.FitModels(sw)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)

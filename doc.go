@@ -17,9 +17,34 @@
 //     shock hitting an Air/Freon interface, built from States,
 //     EFMFlux/GodunovFlux, RK2, AMRMesh and ShockDriver components;
 //   - regression-based performance models (Eqs. 1-2) and the composite-model
-//     dual graph with implementation-choice optimization (Fig. 10).
+//     dual graph with implementation-choice optimization (Fig. 10);
+//   - a campaign engine (internal/campaign) that runs the evaluation as a
+//     parallel job graph: every sweep, case study and model fit is an
+//     independent simulated-machine job executed by a worker pool.
 //
-// This package is the facade: it re-exports the experiment harness that
-// regenerates every figure of the paper's evaluation. The underlying
-// packages live in internal/.
+// # Campaigns
+//
+// The paper's evaluation is a campaign: three kernel sweeps (Figs. 4-8),
+// a case study (Figs. 3/9/10) and a cache-size study, each a run of a
+// self-contained simulated machine. The campaign engine executes such runs
+// concurrently with deterministic results:
+//
+//   - a job graph (CampaignJob, with After dependencies) is submitted via
+//     RunCampaign and executed by CampaignConfig.Workers workers;
+//   - every job's machine draws its randomness from its own config seed,
+//     never from scheduling, so output is byte-identical for any worker
+//     count;
+//   - Grid cross-products world parameters (ranks x network model x cache
+//     size x seed replications) into scenario job sets (RunSweepGrid),
+//     deriving each scenario's seed via DeriveSeed(base, key) so
+//     replications draw independent streams;
+//   - errors aggregate across jobs (errors.Join) and progress events
+//     stream serially through CampaignConfig.OnProgress.
+//
+// See examples/campaign for a grid study and cmd/figures for the full
+// figure-regeneration graph.
+//
+// This package is the facade: it re-exports the experiment harness and the
+// campaign engine that regenerate every figure of the paper's evaluation.
+// The underlying packages live in internal/.
 package repro

@@ -1,0 +1,362 @@
+// Package campaign runs the repository's experiment campaigns — kernel
+// sweeps, cache studies, case-study runs, figure regeneration — as a graph
+// of independent jobs executed by a worker pool.
+//
+// Each job owns a self-contained simulated machine (an mpi.World carries
+// its own virtual clocks, caches and seeded RNG streams), so independent
+// jobs parallelize without perturbing each other's measurements: a campaign
+// produces byte-identical results whether it runs on one worker or many.
+// Randomness is derived per job from a base seed and the job's stable key
+// (DeriveSeed), never from scheduling order.
+//
+// The executor supports job dependencies (Job.After), context
+// cancellation, fail-fast or run-to-completion error aggregation, and
+// serialized progress reporting.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job is one schedulable unit of a campaign: typically a full
+// simulated-machine run (a sweep, a case study, a model fit) identified by
+// a stable key.
+type Job struct {
+	// Key identifies the job within its campaign. Keys must be unique and
+	// non-empty; they name results, seed derivation and progress events.
+	Key string
+	// After lists the keys of jobs that must complete successfully before
+	// this one starts. Their values are handed to Run.
+	After []string
+	// Run performs the work. deps maps each After key to that job's value.
+	// The context is canceled when the campaign aborts.
+	Run func(ctx context.Context, deps map[string]any) (any, error)
+}
+
+// Result is one job's outcome, reported in submission order.
+type Result struct {
+	// Key is the job's key.
+	Key string
+	// Value is what Run returned (nil on error or skip).
+	Value any
+	// Err is the job's failure, a dependency skip (errors.Is ErrDependency)
+	// or the campaign context's error if the job never ran.
+	Err error
+	// Elapsed is the job's real (host) execution time; zero if it never ran.
+	Elapsed time.Duration
+}
+
+// Event is one progress report, delivered serially as jobs settle.
+type Event struct {
+	// Key is the job that settled.
+	Key string
+	// Err is the job's outcome (nil on success).
+	Err error
+	// Elapsed is the job's real execution time.
+	Elapsed time.Duration
+	// Done and Total count settled jobs against the campaign size.
+	Done, Total int
+}
+
+// Config tunes a campaign run.
+type Config struct {
+	// Workers caps concurrent jobs. Zero or negative means
+	// runtime.NumCPU(). Worker count never changes results, only wall time.
+	Workers int
+	// FailFast cancels the remaining jobs after the first failure. The
+	// default runs every reachable job and aggregates all errors.
+	FailFast bool
+	// OnProgress, when set, receives one Event per settled job. Events are
+	// delivered serially, in settle order, by a dedicated dispatcher
+	// goroutine: a slow callback delays event delivery (and Run's return),
+	// never job execution. The callback must not call back into the
+	// campaign.
+	OnProgress func(Event)
+}
+
+// ErrDependency marks a job skipped because a prerequisite failed.
+var ErrDependency = errors.New("campaign: dependency failed")
+
+// state tracks one job through the scheduler.
+type state struct {
+	waiting    int   // unmet prerequisites
+	dependents []int // jobs waiting on this one
+	settled    bool
+}
+
+// Run executes the jobs under cfg and returns their results in submission
+// order. The returned error aggregates every job failure (errors.Join),
+// wrapped with the failing job's key; it is nil only if every job
+// succeeded. Structural problems — duplicate or empty keys, unknown or
+// cyclic dependencies, a nil Run — fail the whole campaign before any job
+// starts.
+func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
+	n := len(jobs)
+	results := make([]Result, n)
+	index := make(map[string]int, n)
+	for i, j := range jobs {
+		results[i].Key = j.Key
+		if j.Key == "" {
+			return nil, fmt.Errorf("campaign: job %d has an empty key", i)
+		}
+		if j.Run == nil {
+			return nil, fmt.Errorf("campaign: job %q has a nil Run", j.Key)
+		}
+		if prev, dup := index[j.Key]; dup {
+			return nil, fmt.Errorf("campaign: duplicate job key %q (jobs %d and %d)", j.Key, prev, i)
+		}
+		index[j.Key] = i
+	}
+	states := make([]state, n)
+	for i, j := range jobs {
+		for _, dep := range j.After {
+			di, ok := index[dep]
+			if !ok {
+				return nil, fmt.Errorf("campaign: job %q waits on unknown job %q", j.Key, dep)
+			}
+			if di == i {
+				return nil, fmt.Errorf("campaign: job %q waits on itself", j.Key)
+			}
+			states[i].waiting++
+			states[di].dependents = append(states[di].dependents, i)
+		}
+	}
+	if err := checkAcyclic(jobs, states); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return results, nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	run := &runState{
+		ctx:     ctx,
+		cancel:  cancel,
+		cfg:     cfg,
+		jobs:    jobs,
+		states:  states,
+		index:   index,
+		results: results,
+		total:   n,
+	}
+	run.cond = sync.NewCond(&run.mu)
+	run.mu.Lock()
+	for i := range jobs {
+		if states[i].waiting == 0 {
+			run.ready = append(run.ready, i)
+		}
+	}
+	run.mu.Unlock()
+
+	var dispatchDone chan struct{}
+	if cfg.OnProgress != nil {
+		dispatchDone = make(chan struct{})
+		go run.dispatch(dispatchDone)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run.work()
+		}()
+	}
+	wg.Wait()
+	if dispatchDone != nil {
+		run.mu.Lock()
+		run.cond.Broadcast()
+		run.mu.Unlock()
+		<-dispatchDone
+	}
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("job %q: %w", results[i].Key, results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runState is the scheduler shared by a campaign's workers.
+type runState struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	cfg    Config
+	jobs   []Job
+	states []state
+	index  map[string]int // job key -> slice position
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []int // indices with no unmet deps, ascending
+	results []Result
+	pending []Event // settled but undelivered progress events
+	done    int
+	total   int
+}
+
+// dispatch delivers queued progress events in settle order, decoupling the
+// user's callback from the scheduler: workers only append to the queue.
+func (r *runState) dispatch(done chan struct{}) {
+	defer close(done)
+	r.mu.Lock()
+	for {
+		for len(r.pending) == 0 && r.done < r.total {
+			r.cond.Wait()
+		}
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		batch := r.pending
+		r.pending = nil
+		r.mu.Unlock()
+		for _, e := range batch {
+			r.cfg.OnProgress(e)
+		}
+		r.mu.Lock()
+	}
+}
+
+// work is one worker's loop: claim the lowest-index ready job, run it,
+// settle it, repeat until every job has settled.
+func (r *runState) work() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		for len(r.ready) == 0 && r.done < r.total {
+			r.cond.Wait()
+		}
+		if len(r.ready) == 0 {
+			return // every job settled
+		}
+		i := r.ready[0]
+		r.ready = r.ready[1:]
+
+		if err := r.ctx.Err(); err != nil {
+			r.settleLocked(i, nil, err, 0)
+			continue
+		}
+		job := r.jobs[i]
+		deps := make(map[string]any, len(job.After))
+		for _, dep := range job.After {
+			deps[dep] = r.results[r.index[dep]].Value
+		}
+		r.mu.Unlock()
+		start := time.Now()
+		v, err := job.Run(r.ctx, deps)
+		elapsed := time.Since(start)
+		r.mu.Lock()
+		r.settleLocked(i, v, err, elapsed)
+	}
+}
+
+// settleLocked records a job's outcome, releases or skips its dependents,
+// and emits the progress event. Caller holds r.mu.
+func (r *runState) settleLocked(i int, v any, err error, elapsed time.Duration) {
+	r.results[i].Value = v
+	r.results[i].Err = err
+	r.results[i].Elapsed = elapsed
+	r.states[i].settled = true
+	r.done++
+	if err != nil {
+		if r.cfg.FailFast {
+			r.cancel()
+		}
+		r.skipDependentsLocked(i)
+	} else {
+		for _, d := range r.states[i].dependents {
+			r.states[d].waiting--
+			if r.states[d].waiting == 0 {
+				r.insertReadyLocked(d)
+			}
+		}
+	}
+	if r.cfg.OnProgress != nil {
+		r.pending = append(r.pending, Event{
+			Key: r.results[i].Key, Err: err, Elapsed: elapsed,
+			Done: r.done, Total: r.total,
+		})
+	}
+	r.cond.Broadcast()
+}
+
+// skipDependentsLocked settles every job downstream of a failed one with
+// ErrDependency, transitively.
+func (r *runState) skipDependentsLocked(failed int) {
+	for _, d := range r.states[failed].dependents {
+		if r.states[d].settled {
+			continue
+		}
+		r.states[d].settled = true
+		r.results[d].Err = fmt.Errorf("%w: %q", ErrDependency, r.results[failed].Key)
+		r.done++
+		if r.cfg.OnProgress != nil {
+			r.pending = append(r.pending, Event{
+				Key: r.results[d].Key, Err: r.results[d].Err,
+				Done: r.done, Total: r.total,
+			})
+		}
+		r.skipDependentsLocked(d)
+	}
+}
+
+// insertReadyLocked adds index i to the ready list keeping it ascending, so
+// workers always claim the earliest-submitted runnable job.
+func (r *runState) insertReadyLocked(i int) {
+	at := sort.SearchInts(r.ready, i)
+	r.ready = append(r.ready, 0)
+	copy(r.ready[at+1:], r.ready[at:])
+	r.ready[at] = i
+}
+
+// checkAcyclic rejects dependency cycles with a Kahn pass over the
+// already-built dependents adjacency, O(jobs + edges).
+func checkAcyclic(jobs []Job, states []state) error {
+	waiting := make([]int, len(jobs))
+	var queue []int
+	for i := range states {
+		waiting[i] = states[i].waiting
+		if waiting[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, d := range states[i].dependents {
+			waiting[d]--
+			if waiting[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != len(jobs) {
+		var cyclic []string
+		for i, j := range jobs {
+			if waiting[i] > 0 {
+				cyclic = append(cyclic, j.Key)
+			}
+		}
+		return fmt.Errorf("campaign: dependency cycle among %v", cyclic)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+)
+
+// NamedNet labels an interconnect model for scenario keys ("eth",
+// "loaded", ...).
+type NamedNet struct {
+	Name  string
+	Model netmodel.Model
+}
+
+// Grid is a scenario specification: the cross product of world parameters
+// the paper's evaluation varies — rank count, interconnect, cache size —
+// times seed replications. Expanding a Grid yields one Scenario (and hence
+// one campaign job) per combination, each with a deterministic per-scenario
+// seed derived from the base seed and the scenario key.
+type Grid struct {
+	// Base is the template world; every scenario starts from a copy.
+	Base mpi.WorldConfig
+	// Ranks lists the world sizes to sweep. Empty keeps Base.Procs.
+	Ranks []int
+	// Nets lists the interconnect models to sweep. Empty keeps Base.Net.
+	Nets []NamedNet
+	// CacheKBs lists per-rank cache capacities in kB. Empty keeps
+	// Base.Cache.SizeBytes.
+	CacheKBs []int
+	// Replications is the number of independently seeded repetitions of
+	// each combination. Zero or negative means 1.
+	Replications int
+	// BaseSeed feeds per-scenario seed derivation. Zero means Base.Seed.
+	BaseSeed int64
+}
+
+// Scenario is one expanded grid point: a fully specified simulated machine
+// plus the coordinates it came from.
+type Scenario struct {
+	// Key is the stable scenario identifier ("p3/eth/c512kB/r0"), unique
+	// within the grid and the input to seed derivation.
+	Key string
+	// World is the scenario's machine, seed already derived.
+	World mpi.WorldConfig
+	// Net names the interconnect dimension value ("base" if unswept).
+	Net string
+	// CacheKB is the cache capacity in kB.
+	CacheKB int
+	// Replication is the repetition index in [0, Replications).
+	Replication int
+}
+
+// Scenarios expands the grid in deterministic nested order (ranks
+// outermost, replications innermost).
+func (g Grid) Scenarios() []Scenario {
+	ranks := g.Ranks
+	if len(ranks) == 0 {
+		ranks = []int{g.Base.Procs}
+	}
+	nets := g.Nets
+	if len(nets) == 0 {
+		nets = []NamedNet{{Name: "base", Model: g.Base.Net}}
+	}
+	// Cache choices carry exact byte sizes so an unswept dimension keeps
+	// Base.Cache.SizeBytes untouched (it need not be kB-aligned).
+	type cacheChoice struct{ kb, bytes int }
+	var caches []cacheChoice
+	for _, kb := range g.CacheKBs {
+		caches = append(caches, cacheChoice{kb: kb, bytes: kb * 1024})
+	}
+	if len(caches) == 0 {
+		caches = []cacheChoice{{kb: g.Base.Cache.SizeBytes / 1024, bytes: g.Base.Cache.SizeBytes}}
+	}
+	reps := g.Replications
+	if reps <= 0 {
+		reps = 1
+	}
+	base := g.BaseSeed
+	if base == 0 {
+		base = g.Base.Seed
+	}
+	out := make([]Scenario, 0, len(ranks)*len(nets)*len(caches)*reps)
+	for _, p := range ranks {
+		for _, net := range nets {
+			name := net.Name
+			if name == "" {
+				name = "base"
+			}
+			for _, c := range caches {
+				for rep := 0; rep < reps; rep++ {
+					key := fmt.Sprintf("p%d/%s/c%dkB/r%d", p, name, c.kb, rep)
+					w := g.Base
+					w.Procs = p
+					w.Net = net.Model
+					w.Cache.SizeBytes = c.bytes
+					w.Seed = DeriveSeed(base, key)
+					out = append(out, Scenario{
+						Key: key, World: w,
+						Net: name, CacheKB: c.kb, Replication: rep,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

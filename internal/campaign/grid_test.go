@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+)
+
+func TestGridCrossProduct(t *testing.T) {
+	t.Parallel()
+	g := Grid{
+		Base:         mpi.DefaultConfig(),
+		Ranks:        []int{2, 3},
+		Nets:         []NamedNet{{Name: "eth", Model: netmodel.FastEthernet()}, {Name: "quiet", Model: netmodel.Model{LatencyUS: 10, BytesPerUS: 100}}},
+		CacheKBs:     []int{128, 512},
+		Replications: 3,
+	}
+	scs := g.Scenarios()
+	if len(scs) != 2*2*2*3 {
+		t.Fatalf("%d scenarios, want 24", len(scs))
+	}
+	keys := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, sc := range scs {
+		if keys[sc.Key] {
+			t.Errorf("duplicate key %s", sc.Key)
+		}
+		keys[sc.Key] = true
+		if seeds[sc.World.Seed] {
+			t.Errorf("duplicate seed for %s", sc.Key)
+		}
+		seeds[sc.World.Seed] = true
+		if sc.World.Cache.SizeBytes != sc.CacheKB*1024 {
+			t.Errorf("%s: cache %d bytes vs %d kB", sc.Key, sc.World.Cache.SizeBytes, sc.CacheKB)
+		}
+	}
+	if scs[0].Key != "p2/eth/c128kB/r0" {
+		t.Errorf("first key = %s", scs[0].Key)
+	}
+	// Expansion is deterministic.
+	again := g.Scenarios()
+	for i := range scs {
+		if scs[i].Key != again[i].Key || scs[i].World.Seed != again[i].World.Seed {
+			t.Fatalf("expansion not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGridEmptyDimensionsKeepBase(t *testing.T) {
+	t.Parallel()
+	base := mpi.DefaultConfig()
+	scs := Grid{Base: base}.Scenarios()
+	if len(scs) != 1 {
+		t.Fatalf("%d scenarios, want 1", len(scs))
+	}
+	sc := scs[0]
+	if sc.World.Procs != base.Procs || sc.World.Cache.SizeBytes != base.Cache.SizeBytes {
+		t.Errorf("scenario departed from base: %+v", sc)
+	}
+	if sc.World.Net != base.Net {
+		t.Errorf("net departed from base")
+	}
+
+	// An unswept cache dimension must keep the exact byte size even when it
+	// is not kB-aligned.
+	odd := mpi.DefaultConfig()
+	odd.Cache.SizeBytes = 98_816 // 96.5 kB
+	got := Grid{Base: odd}.Scenarios()
+	if got[0].World.Cache.SizeBytes != 98_816 {
+		t.Errorf("unswept cache size rounded: %d bytes", got[0].World.Cache.SizeBytes)
+	}
+}

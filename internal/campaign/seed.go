@@ -1,0 +1,30 @@
+package campaign
+
+// DeriveSeed maps a campaign base seed and a job's stable key to the seed
+// that job's simulated machine should use. Seeds depend only on (base,
+// key) — never on worker count, submission order or scheduling — so a
+// campaign's random streams are reproducible run to run and replications
+// with distinct keys draw statistically independent streams.
+//
+// The key is folded with FNV-1a and the combined state is finalized with
+// the splitmix64 mixer; the result is kept non-negative so it can feed
+// rand.NewSource-style APIs that dislike the sign bit.
+func DeriveSeed(base int64, key string) int64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	x := h ^ uint64(base)*0x9e3779b97f4a7c15
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x & 0x7fffffffffffffff)
+}

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/campaign"
 	"repro/internal/perfmodel"
 )
 
@@ -33,23 +35,12 @@ type CachePoint struct {
 }
 
 // RunCacheStudy refits the kernel under each cache size (in kB). The base
-// sweep's other parameters are kept.
+// sweep's other parameters are kept. Each cache size is an independent
+// simulated-machine run, so the study executes as a parallel campaign (one
+// worker per CPU); the points come back in cacheKBs order and are
+// byte-identical to a serial loop.
 func RunCacheStudy(base SweepConfig, cacheKBs []int) ([]CachePoint, error) {
-	out := make([]CachePoint, 0, len(cacheKBs))
-	for _, kb := range cacheKBs {
-		cfg := base
-		cfg.World.Cache.SizeBytes = kb * 1024
-		sw, err := RunSweep(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("harness: cache study at %d kB: %w", kb, err)
-		}
-		cm, err := FitModels(sw)
-		if err != nil {
-			return nil, fmt.Errorf("harness: cache study fit at %d kB: %w", kb, err)
-		}
-		out = append(out, CachePoint{CacheKB: kb, Model: cm})
-	}
-	return out, nil
+	return RunCacheStudyCampaign(context.Background(), campaign.Config{}, base, cacheKBs)
 }
 
 // WriteCacheStudy prints the per-cache-size model comparison.

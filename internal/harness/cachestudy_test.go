@@ -8,10 +8,9 @@ import (
 )
 
 func TestCacheAwareFitExplainsModeSplit(t *testing.T) {
-	sw, err := RunSweep(fastSweep(KernelStates))
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Parallel()
+	_, sweeps, _ := sharedFixtures(t)
+	sw := sweeps[KernelStates]
 	// The sweep must have recorded per-invocation miss deltas.
 	sawMisses := false
 	for _, p := range sw.Points {
@@ -44,6 +43,7 @@ func TestCacheAwareFitExplainsModeSplit(t *testing.T) {
 }
 
 func TestRunCacheStudyCoefficientsMove(t *testing.T) {
+	t.Parallel()
 	base := fastSweep(KernelStates)
 	base.Sizes = LogSizes(4_000, 100_000, 4)
 	pts, err := RunCacheStudy(base, []int{128, 1024})
@@ -77,6 +77,7 @@ func TestRunCacheStudyCoefficientsMove(t *testing.T) {
 }
 
 func TestCacheAwareFitEmpty(t *testing.T) {
+	t.Parallel()
 	if _, _, _, err := CacheAwareFit(&SweepResult{}); err == nil {
 		t.Fatal("empty sweep accepted")
 	}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/campaign"
+)
+
+// This file adapts the experiment drivers to the campaign engine: every
+// sweep, case study and model fit becomes a campaign.Job owning its own
+// simulated machine, so the paper's whole evaluation — three kernel
+// sweeps, the case study, the cache study — runs as one parallel job
+// graph. Worker count never changes results: each job's world draws its
+// randomness from its own config seed.
+
+// SweepJob wraps RunSweep as a campaign job under the given key.
+func SweepJob(key string, cfg SweepConfig) campaign.Job {
+	return campaign.Job{Key: key, Run: func(context.Context, map[string]any) (any, error) {
+		return RunSweep(cfg)
+	}}
+}
+
+// CaseStudyJob wraps RunCaseStudy as a campaign job under the given key.
+func CaseStudyJob(key string, cfg CaseStudyConfig) campaign.Job {
+	return campaign.Job{Key: key, Run: func(context.Context, map[string]any) (any, error) {
+		return RunCaseStudy(cfg)
+	}}
+}
+
+// ModelJob fits Eq. 1/2 models to the sweep produced by the job named
+// sweepKey.
+func ModelJob(key, sweepKey string) campaign.Job {
+	return campaign.Job{Key: key, After: []string{sweepKey},
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			return FitModels(deps[sweepKey].(*SweepResult))
+		}}
+}
+
+// RunSweeps measures several kernels concurrently, one campaign job per
+// sweep. Results come back in input order and are byte-identical to
+// looping RunSweep serially.
+func RunSweeps(ctx context.Context, cc campaign.Config, cfgs []SweepConfig) ([]*SweepResult, error) {
+	jobs := make([]campaign.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = SweepJob(fmt.Sprintf("sweep/%d/%s", i, cfg.Kernel), cfg)
+	}
+	res, err := campaign.Run(ctx, cc, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SweepResult, len(res))
+	for i, r := range res {
+		out[i] = r.Value.(*SweepResult)
+	}
+	return out, nil
+}
+
+// CachePointJob runs the base sweep under one cache size and fits the
+// kernel model — one point of the Section 6 cache study.
+func CachePointJob(key string, base SweepConfig, cacheKB int) campaign.Job {
+	return campaign.Job{Key: key, Run: func(context.Context, map[string]any) (any, error) {
+		cfg := base
+		cfg.World.Cache.SizeBytes = cacheKB * 1024
+		sw, err := RunSweep(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: cache study at %d kB: %w", cacheKB, err)
+		}
+		cm, err := FitModels(sw)
+		if err != nil {
+			return nil, fmt.Errorf("harness: cache study fit at %d kB: %w", cacheKB, err)
+		}
+		return CachePoint{CacheKB: cacheKB, Model: cm}, nil
+	}}
+}
+
+// RunCacheStudyCampaign is RunCacheStudy on the campaign engine: one job
+// per cache size, executed by cc.Workers workers. Points come back in
+// cacheKBs order regardless of which finishes first.
+func RunCacheStudyCampaign(ctx context.Context, cc campaign.Config, base SweepConfig, cacheKBs []int) ([]CachePoint, error) {
+	jobs := make([]campaign.Job, len(cacheKBs))
+	for i, kb := range cacheKBs {
+		jobs[i] = CachePointJob(fmt.Sprintf("cache/%dkB", kb), base, kb)
+	}
+	res, err := campaign.Run(ctx, cc, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CachePoint, len(res))
+	for i, r := range res {
+		out[i] = r.Value.(CachePoint)
+	}
+	return out, nil
+}
+
+// GridSweep is one grid scenario's measured and fitted outcome.
+type GridSweep struct {
+	// Scenario locates the point in the grid.
+	Scenario campaign.Scenario
+	// Result is the scenario's sweep.
+	Result *SweepResult
+	// Model is the Eq. 1/2 fit of that sweep.
+	Model *ComponentModel
+}
+
+// RunSweepGrid expands a scenario grid into sweep-and-fit jobs for the
+// base config's kernel and runs them as one campaign. The i-th returned
+// point corresponds to the i-th expanded scenario.
+func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g campaign.Grid) ([]GridSweep, error) {
+	scs := g.Scenarios()
+	jobs := make([]campaign.Job, len(scs))
+	for i, sc := range scs {
+		sc := sc
+		jobs[i] = campaign.Job{Key: sc.Key, Run: func(context.Context, map[string]any) (any, error) {
+			cfg := base
+			cfg.World = sc.World
+			sw, err := RunSweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			cm, err := FitModels(sw)
+			if err != nil {
+				return nil, err
+			}
+			return GridSweep{Scenario: sc, Result: sw, Model: cm}, nil
+		}}
+	}
+	res, err := campaign.Run(ctx, cc, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GridSweep, len(res))
+	for i, r := range res {
+		out[i] = r.Value.(GridSweep)
+	}
+	return out, nil
+}

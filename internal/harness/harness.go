@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/amr"
 	"repro/internal/cca"
@@ -101,7 +102,7 @@ func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
 			res.Stats = app.Mesh.Stats()
 			res.StepsTaken = app.Driver.StepsTaken
 			res.SimTime = app.Driver.SimTime
-			var sb writerBuilder
+			var sb strings.Builder
 			if err := f.WriteDOT(&sb, "case-study-assembly"); err != nil {
 				return err
 			}
@@ -115,16 +116,6 @@ func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
 	res.Profiles = w.Profiles()
 	return res, nil
 }
-
-// writerBuilder is a minimal strings.Builder clone implementing io.Writer
-// without importing strings here.
-type writerBuilder struct{ buf []byte }
-
-func (w *writerBuilder) Write(p []byte) (int, error) {
-	w.buf = append(w.buf, p...)
-	return len(p), nil
-}
-func (w *writerBuilder) String() string { return string(w.buf) }
 
 // MeanSummary computes the cross-rank FUNCTION SUMMARY rows (Fig. 3).
 func (r *CaseStudyResult) MeanSummary() []tau.SummaryRow {

@@ -1,11 +1,14 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/assembly"
+	"repro/internal/campaign"
 	"repro/internal/euler"
 	"repro/internal/perfmodel"
 )
@@ -29,11 +32,51 @@ func fastSweep(k Kernel) SweepConfig {
 	return cfg
 }
 
-func TestRunCaseStudyProducesAllArtifacts(t *testing.T) {
-	res, err := RunCaseStudy(fastCaseStudy())
-	if err != nil {
-		t.Fatal(err)
+// shared memoizes the fast case study plus the three fast sweeps and their
+// fits, produced once per test binary by a single parallel campaign. Every
+// run is deterministic for its config, so sharing changes nothing but wall
+// time — and the fixture itself exercises the campaign job graph (sweep ->
+// model dependencies, case study alongside).
+var shared struct {
+	once    sync.Once
+	caseRes *CaseStudyResult
+	sweeps  map[Kernel]*SweepResult
+	models  map[Kernel]*ComponentModel
+	err     error
+}
+
+func sharedFixtures(t *testing.T) (*CaseStudyResult, map[Kernel]*SweepResult, map[Kernel]*ComponentModel) {
+	t.Helper()
+	shared.once.Do(func() {
+		kernels := []Kernel{KernelStates, KernelGodunov, KernelEFM}
+		jobs := []campaign.Job{CaseStudyJob("case", fastCaseStudy())}
+		for _, k := range kernels {
+			jobs = append(jobs,
+				SweepJob("sweep/"+string(k), fastSweep(k)),
+				ModelJob("model/"+string(k), "sweep/"+string(k)))
+		}
+		res, err := campaign.Run(context.Background(), campaign.Config{}, jobs)
+		if err != nil {
+			shared.err = err
+			return
+		}
+		shared.caseRes = res[0].Value.(*CaseStudyResult)
+		shared.sweeps = map[Kernel]*SweepResult{}
+		shared.models = map[Kernel]*ComponentModel{}
+		for i, k := range kernels {
+			shared.sweeps[k] = res[1+2*i].Value.(*SweepResult)
+			shared.models[k] = res[2+2*i].Value.(*ComponentModel)
+		}
+	})
+	if shared.err != nil {
+		t.Fatal(shared.err)
 	}
+	return shared.caseRes, shared.sweeps, shared.models
+}
+
+func TestRunCaseStudyProducesAllArtifacts(t *testing.T) {
+	t.Parallel()
+	res, _, _ := sharedFixtures(t)
 	if len(res.Profiles) != 3 {
 		t.Errorf("profiles = %d, want 3", len(res.Profiles))
 	}
@@ -61,6 +104,7 @@ func TestRunCaseStudyProducesAllArtifacts(t *testing.T) {
 }
 
 func TestFig3ShapeWaitsomeShare(t *testing.T) {
+	t.Parallel()
 	// The headline Fig. 3 claim: about a quarter of the time in
 	// MPI_Waitsome. Accept a generous band around the paper's 24.3%.
 	res, err := RunCaseStudy(DefaultCaseStudy())
@@ -81,10 +125,8 @@ func TestFig3ShapeWaitsomeShare(t *testing.T) {
 }
 
 func TestGhostCommSeriesFig9(t *testing.T) {
-	res, err := RunCaseStudy(fastCaseStudy())
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Parallel()
+	res, _, _ := sharedFixtures(t)
 	pts := res.GhostCommSeries()
 	if len(pts) == 0 {
 		t.Fatal("no ghost-update comm samples")
@@ -111,10 +153,8 @@ func TestGhostCommSeriesFig9(t *testing.T) {
 }
 
 func TestWritePGM(t *testing.T) {
-	res, err := RunCaseStudy(fastCaseStudy())
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Parallel()
+	res, _, _ := sharedFixtures(t)
 	var sb strings.Builder
 	if err := res.WritePGM(&sb); err != nil {
 		t.Fatal(err)
@@ -133,6 +173,7 @@ func TestWritePGM(t *testing.T) {
 }
 
 func TestLogSizes(t *testing.T) {
+	t.Parallel()
 	s := LogSizes(1000, 150000, 12)
 	if len(s) != 12 || s[0] != 1000 {
 		t.Fatalf("sizes = %v", s)
@@ -145,16 +186,33 @@ func TestLogSizes(t *testing.T) {
 			t.Fatal("sizes not increasing")
 		}
 	}
-	if one := LogSizes(5, 10, 1); len(one) != 1 || one[0] != 5 {
-		t.Errorf("n=1 sizes = %v", one)
+}
+
+func TestLogSizesEdgeCases(t *testing.T) {
+	t.Parallel()
+	// n < 2 collapses to the lower bound alone.
+	for _, n := range []int{1, 0, -3} {
+		if got := LogSizes(5, 10, n); len(got) != 1 || got[0] != 5 {
+			t.Errorf("LogSizes(5, 10, %d) = %v, want [5]", n, got)
+		}
+	}
+	// A degenerate range (lo == hi) yields n copies of that size, not NaNs
+	// or zeros — the ratio degenerates to 1.
+	if got := LogSizes(7, 7, 4); len(got) != 4 {
+		t.Fatalf("LogSizes(7, 7, 4) = %v", got)
+	} else {
+		for _, v := range got {
+			if v != 7 {
+				t.Fatalf("LogSizes(7, 7, 4) = %v, want all 7s", got)
+			}
+		}
 	}
 }
 
 func TestRunSweepStates(t *testing.T) {
-	sw, err := RunSweep(fastSweep(KernelStates))
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Parallel()
+	_, sweeps, _ := sharedFixtures(t)
+	sw := sweeps[KernelStates]
 	if len(sw.Points) == 0 {
 		t.Fatal("no sweep points")
 	}
@@ -199,10 +257,9 @@ func TestRunSweepStates(t *testing.T) {
 }
 
 func TestSweepCSVWriters(t *testing.T) {
-	sw, err := RunSweep(fastSweep(KernelStates))
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Parallel()
+	_, sweeps, _ := sharedFixtures(t)
+	sw := sweeps[KernelStates]
 	var sb strings.Builder
 	if err := sw.WriteScatterCSV(&sb); err != nil {
 		t.Fatal(err)
@@ -220,21 +277,18 @@ func TestSweepCSVWriters(t *testing.T) {
 }
 
 func TestRunSweepRejectsEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := RunSweep(SweepConfig{}); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
 }
 
 func TestFitModelsShapes(t *testing.T) {
+	t.Parallel()
+	_, _, models := sharedFixtures(t)
+
 	// States: power-law mean with superlinear exponent.
-	sw, err := RunSweep(fastSweep(KernelStates))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cm, err := FitModels(sw)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cm := models[KernelStates]
 	pl, ok := cm.Mean.(perfmodel.PowerLaw)
 	if !ok {
 		t.Fatalf("States mean model is %T, want PowerLaw", cm.Mean)
@@ -247,14 +301,7 @@ func TestFitModelsShapes(t *testing.T) {
 	}
 
 	// Godunov: linear mean, sigma growing with Q.
-	swG, err := RunSweep(fastSweep(KernelGodunov))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cmG, err := FitModels(swG)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cmG := models[KernelGodunov]
 	lg, ok := cmG.Mean.(perfmodel.Poly)
 	if !ok || len(lg.Coeffs) != 2 {
 		t.Fatalf("Godunov mean model = %v", cmG.Mean)
@@ -268,14 +315,7 @@ func TestFitModelsShapes(t *testing.T) {
 	}
 
 	// EFM: linear mean cheaper than Godunov at large Q.
-	swE, err := RunSweep(fastSweep(KernelEFM))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cmE, err := FitModels(swE)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cmE := models[KernelEFM]
 	const bigQ = 100_000
 	if cmE.Mean.Predict(bigQ) >= cmG.Mean.Predict(bigQ) {
 		t.Errorf("EFM (%.0f us) must be cheaper than Godunov (%.0f us) at Q=%d",
@@ -315,22 +355,8 @@ func TestFitModelsShapes(t *testing.T) {
 }
 
 func TestBuildDualAndOptimize(t *testing.T) {
-	res, err := RunCaseStudy(fastCaseStudy())
-	if err != nil {
-		t.Fatal(err)
-	}
-	models := map[Kernel]*ComponentModel{}
-	for _, k := range []Kernel{KernelStates, KernelGodunov, KernelEFM} {
-		sw, err := RunSweep(fastSweep(k))
-		if err != nil {
-			t.Fatal(err)
-		}
-		cm, err := FitModels(sw)
-		if err != nil {
-			t.Fatal(err)
-		}
-		models[k] = cm
-	}
+	t.Parallel()
+	res, _, models := sharedFixtures(t)
 	dual := BuildDual(res, models)
 	if dual.Vertex("sc_proxy") == nil || dual.Vertex("g_proxy") == nil {
 		t.Fatal("dual missing kernel vertices")
@@ -379,10 +405,10 @@ func TestBuildDualAndOptimize(t *testing.T) {
 }
 
 func TestCaseStudyDeterminism(t *testing.T) {
-	r1, err := RunCaseStudy(fastCaseStudy())
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Parallel()
+	// The shared fixture ran the same config through the campaign engine;
+	// a fresh serial run must reproduce it exactly.
+	r1, _, _ := sharedFixtures(t)
 	r2, err := RunCaseStudy(fastCaseStudy())
 	if err != nil {
 		t.Fatal(err)

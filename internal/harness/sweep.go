@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"repro/internal/cca"
 	"repro/internal/components"
@@ -324,23 +325,13 @@ func (s *SweepResult) StridedRatios() []RatioPoint {
 			Ratio: (sv[1] / float64(cv[1])) / (sv[0] / float64(cv[0])),
 		})
 	}
-	sortRatios(out)
-	return out
-}
-
-func sortRatios(pts []RatioPoint) {
-	for i := 1; i < len(pts); i++ {
-		for j := i; j > 0 && less(pts[j], pts[j-1]); j-- {
-			pts[j], pts[j-1] = pts[j-1], pts[j]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Q != out[j].Q {
+			return out[i].Q < out[j].Q
 		}
-	}
-}
-
-func less(a, b RatioPoint) bool {
-	if a.Q != b.Q {
-		return a.Q < b.Q
-	}
-	return a.Rank < b.Rank
+		return out[i].Rank < out[j].Rank
+	})
+	return out
 }
 
 // WriteScatterCSV writes the Fig. 4 scatter.
