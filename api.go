@@ -10,6 +10,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
+	"repro/internal/results"
+	"repro/internal/results/store"
 )
 
 // Re-exported configuration and result types of the experiment harness.
@@ -57,10 +59,41 @@ type (
 	Scenario = campaign.Scenario
 	// NamedNet labels an interconnect model for scenario keys.
 	NamedNet = campaign.NamedNet
+	// MeshSize is one app-level base-mesh dimension choice of a Grid.
+	MeshSize = campaign.MeshSize
 	// GridSweep is one grid scenario's sweep result and fitted model.
 	GridSweep = harness.GridSweep
+	// GridPoint is one streamed grid scenario's distilled outcome
+	// (coordinates, kernel, fitted model — no buffered sweep).
+	GridPoint = harness.GridPoint
 	// CachePoint is one cache-size sample of the Section 6 study.
 	CachePoint = harness.CachePoint
+
+	// Row is one streamed result record: an ordered list of named fields.
+	Row = results.Row
+	// Field is one named value of a Row.
+	Field = results.Field
+	// Sink consumes result rows emitted by campaign jobs.
+	Sink = results.Sink
+	// MemorySink buffers rows per key in memory.
+	MemorySink = results.MemorySink
+	// AggSink folds rows into running per-key statistics, never retaining
+	// the rows themselves.
+	AggSink = results.AggSink
+	// CSVShardSink writes one CSV shard file per result key.
+	CSVShardSink = results.CSVShardSink
+	// Stat is a running aggregate of one numeric field under one key.
+	Stat = results.Stat
+	// CheckpointStore persists finished campaign-job payloads keyed by
+	// (job key, config hash) under a cache directory.
+	CheckpointStore = store.Store
+
+	// TrendReport is one kernel's coefficient-vs-cache-size analysis.
+	TrendReport = harness.TrendReport
+	// TrendPoint is one cache size's averaged model coefficients.
+	TrendPoint = harness.TrendPoint
+	// TrendFit is one coefficient's fitted trend against cache size.
+	TrendFit = harness.TrendFit
 )
 
 // Measured kernels.
@@ -116,16 +149,21 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig, jobs []CampaignJob) ([
 // machine seed, independent of scheduling.
 func DeriveSeed(base int64, key string) int64 { return campaign.DeriveSeed(base, key) }
 
-// SweepJob wraps RunSweep as a campaign job.
+// SweepJob wraps RunSweep as a checkpointable campaign job that streams
+// its telemetry rows to the campaign sink.
 func SweepJob(key string, cfg SweepConfig) CampaignJob { return harness.SweepJob(key, cfg) }
 
-// CaseStudyJob wraps RunCaseStudy as a campaign job.
+// CaseStudyJob wraps RunCaseStudy as a checkpointable campaign job that
+// streams its FUNCTION SUMMARY rows to the campaign sink.
 func CaseStudyJob(key string, cfg CaseStudyConfig) CampaignJob {
 	return harness.CaseStudyJob(key, cfg)
 }
 
-// ModelJob fits Eq. 1/2 models to the sweep job named sweepKey.
-func ModelJob(key, sweepKey string) CampaignJob { return harness.ModelJob(key, sweepKey) }
+// ModelJob fits Eq. 1/2 models to the sweep job named sweepKey (cfg is
+// that sweep's config, which makes the fit checkpointable).
+func ModelJob(key, sweepKey string, cfg SweepConfig) CampaignJob {
+	return harness.ModelJob(key, sweepKey, cfg)
+}
 
 // RunSweeps measures several kernels concurrently as one campaign.
 func RunSweeps(ctx context.Context, cc CampaignConfig, cfgs []SweepConfig) ([]*SweepResult, error) {
@@ -139,7 +177,54 @@ func RunCacheStudy(ctx context.Context, cc CampaignConfig, base SweepConfig, cac
 }
 
 // RunSweepGrid expands a scenario grid into sweep-and-fit jobs and runs
-// them as one campaign.
+// them as one campaign, buffering every scenario's full SweepResult. For
+// grids too large for that, use StreamSweepGrid.
 func RunSweepGrid(ctx context.Context, cc CampaignConfig, base SweepConfig, g Grid) ([]GridSweep, error) {
 	return harness.RunSweepGrid(ctx, cc, base, g)
+}
+
+// StreamSweepGrid runs a scenario grid with streaming results: telemetry
+// rows go to cc.Sink and only the fitted GridPoints come back, so memory
+// stays bounded as the grid grows. With cc.Store set, finished scenarios
+// checkpoint and an interrupted grid resumes without re-running them.
+func StreamSweepGrid(ctx context.Context, cc CampaignConfig, base SweepConfig, g Grid) ([]GridPoint, error) {
+	return harness.StreamSweepGrid(ctx, cc, base, g)
+}
+
+// OpenStore opens (creating if needed) a checkpoint store directory for
+// CampaignConfig.Store.
+func OpenStore(dir string) (*CheckpointStore, error) { return store.Open(dir) }
+
+// NewMemorySink returns a Sink buffering rows per key in memory.
+func NewMemorySink() *MemorySink { return results.NewMemorySink() }
+
+// NewAggSink returns a Sink aggregating numeric fields on the fly.
+func NewAggSink() *AggSink { return results.NewAggSink() }
+
+// NewCSVShardSink returns a Sink writing one CSV shard file per key under
+// dir.
+func NewCSVShardSink(dir string) (*CSVShardSink, error) { return results.NewCSVShardSink(dir) }
+
+// NewTee returns a Sink fanning every row out to all the given sinks.
+func NewTee(sinks ...Sink) Sink { return results.NewTee(sinks...) }
+
+// EmitRow streams a row from inside a campaign job to the campaign's
+// configured sink (a no-op when the campaign has none).
+func EmitRow(ctx context.Context, key string, row Row) error {
+	return campaign.Emit(ctx, key, row)
+}
+
+// BuildTrends fits model coefficients against cache size over streamed
+// grid points, one report per measured kernel (the paper's Section 6
+// "coefficients parameterized by a cache model").
+func BuildTrends(points []GridPoint) ([]*TrendReport, error) { return harness.BuildTrends(points) }
+
+// WriteTrendCSV writes trend reports as one long-format CSV.
+func WriteTrendCSV(w io.Writer, reports []*TrendReport) error {
+	return harness.WriteTrendCSV(w, reports)
+}
+
+// WriteTrendReport prints the human-readable trend analysis.
+func WriteTrendReport(w io.Writer, reports []*TrendReport) error {
+	return harness.WriteTrendReport(w, reports)
 }

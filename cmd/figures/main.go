@@ -11,56 +11,112 @@
 //	fig8  EFMFlux mean/sigma vs Q with fits                  -> fig8.csv fig8_model.txt
 //	fig9  per-level ghost-update communication times         -> fig9.csv
 //	fig10 composite-model dual graph + assembly optimization -> fig10.dot fig10.txt
+//	trend coefficient-vs-cache-size grid study (Section 6)   -> trend.csv trend.txt
 //
 // The whole regeneration is submitted as one campaign: the case study, the
-// three kernel sweeps and the model fits are independent simulated-machine
-// jobs wired into a dependency graph and executed by a worker pool
-// (-workers). Output files are byte-identical for a fixed seed regardless
-// of worker count.
+// kernel sweeps, the cache-size grid scenarios and the model fits are
+// independent simulated-machine jobs wired into a dependency graph and
+// executed by a worker pool (-workers). Output files are byte-identical
+// for a fixed seed regardless of worker count.
+//
+// Two streaming facilities ride on the campaign: every measurement job
+// emits its telemetry rows into a CSV-shard sink under <out>/rows/, and
+// every job checkpoints its payload into a content-addressed store
+// (-cache, default <out>/.cache), so an interrupted regeneration resumed
+// with the same flags re-runs zero completed jobs and still produces
+// byte-identical output.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/assembly"
 	"repro/internal/campaign"
 	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/results/store"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1..10 or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1..10, trend, or all")
 		outDir  = flag.String("out", "figures", "output directory")
 		procs   = flag.Int("procs", 3, "simulated ranks")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		reps    = flag.Int("reps", 4, "sweep repetitions per size and mode")
 		workers = flag.Int("workers", 0, "campaign workers (0 = all CPUs)")
+		cache   = flag.String("cache", "auto", `checkpoint store directory ("auto" = <out>/.cache, "off" disables)`)
+		caches  = flag.String("trendcaches", "128,256,512,1024", "comma-separated cache sizes (kB) for -fig trend")
+		trReps  = flag.Int("trendreps", 2, "seed replications per trend grid point")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	g := &generator{outDir: *outDir, procs: *procs, seed: *seed, reps: *reps}
+	trendCaches, err := parseInts(*caches)
+	if err != nil {
+		fatal(fmt.Errorf("-trendcaches: %w", err))
+	}
+	g := &generator{
+		outDir: *outDir, procs: *procs, seed: *seed, reps: *reps,
+		trendCaches: trendCaches, trendReps: *trReps,
+	}
+
+	cfg := campaign.Config{
+		Workers: *workers,
+		OnProgress: func(e campaign.Event) {
+			if (strings.HasPrefix(e.Key, "fig") || e.Key == "trend") && e.Err == nil {
+				note := ""
+				if e.Cached {
+					note = " (from checkpoint)"
+				}
+				fmt.Printf("%s done%s\n", e.Key, note)
+			}
+		},
+	}
+	switch *cache {
+	case "off":
+	case "auto":
+		*cache = filepath.Join(*outDir, ".cache")
+		fallthrough
+	default:
+		st, err := store.Open(*cache)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+	}
+	// The rows directory reflects exactly this invocation: clearing it
+	// first keeps shards from a previous run's configuration (other cache
+	// sizes, other figures) from mixing with fresh telemetry.
+	rowsDir := filepath.Join(*outDir, "rows")
+	if err := os.RemoveAll(rowsDir); err != nil {
+		fatal(err)
+	}
+	sink, err := results.NewCSVShardSink(rowsDir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Sink = sink
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
 	jobs := g.jobs(want)
 	if len(jobs) == 0 {
 		fatal(fmt.Errorf("nothing to do for -fig %s", *fig))
 	}
-	_, err := campaign.Run(context.Background(), campaign.Config{
-		Workers: *workers,
-		OnProgress: func(e campaign.Event) {
-			if strings.HasPrefix(e.Key, "fig") && e.Err == nil {
-				fmt.Printf("%s done\n", e.Key)
-			}
-		},
-	}, jobs)
+	_, err = campaign.Run(context.Background(), cfg, jobs)
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -71,16 +127,46 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseInts parses a comma-separated int list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 type generator struct {
 	outDir string
 	procs  int
 	seed   int64
 	reps   int
+
+	trendCaches []int
+	trendReps   int
+}
+
+// figVersion salts figure-job checkpoint hashes; bump when rendering
+// changes so stale store entries stop matching.
+const figVersion = "figures-v1"
+
+// figFile is one rendered output file of a figure job.
+type figFile struct {
+	Name string
+	Data []byte
 }
 
 // jobs assembles the campaign graph for the wanted figures: measurement
-// jobs (case study, sweeps), fit jobs hanging off the sweeps, and figure
-// jobs hanging off whichever results they render.
+// jobs (case study, sweeps, trend grid scenarios), fit jobs hanging off
+// the sweeps, and figure jobs hanging off whichever results they render.
 func (g *generator) jobs(want func(string) bool) []campaign.Job {
 	needCase := want("1") || want("2") || want("3") || want("9") || want("10")
 	needModel := map[harness.Kernel]bool{
@@ -107,50 +193,41 @@ func (g *generator) jobs(want func(string) bool) []campaign.Job {
 		if !needSweep[k] {
 			continue
 		}
-		cfg := harness.DefaultSweep(k)
-		cfg.World.Procs = g.procs
-		cfg.World.Seed = g.seed
-		cfg.Reps = g.reps
+		cfg := g.sweepConfig(k)
 		jobs = append(jobs, harness.SweepJob(sweepKey(k), cfg))
 		if needModel[k] {
-			jobs = append(jobs, harness.ModelJob(modelKey(k), sweepKey(k)))
+			jobs = append(jobs, harness.ModelJob(modelKey(k), sweepKey(k), cfg))
 		}
 	}
 
 	caseOf := func(deps map[string]any) *harness.CaseStudyResult {
 		return deps["case"].(*harness.CaseStudyResult)
 	}
-	figJob := func(name string, after []string, run func(deps map[string]any) error) campaign.Job {
-		return campaign.Job{Key: name, After: after,
-			Run: func(_ context.Context, deps map[string]any) (any, error) {
-				return nil, run(deps)
-			}}
-	}
-	add := func(n string, after []string, run func(deps map[string]any) error) {
+	add := func(n string, after []string, render func(deps map[string]any, out *[]figFile) error) {
 		if want(n) {
-			jobs = append(jobs, figJob("fig"+n, after, run))
+			jobs = append(jobs, g.figJob("fig"+n, after, render))
 		}
 	}
 
-	add("1", []string{"case"}, func(deps map[string]any) error {
-		return g.write("fig1.pgm", caseOf(deps).WritePGM)
+	add("1", []string{"case"}, func(deps map[string]any, out *[]figFile) error {
+		return render(out, "fig1.pgm", caseOf(deps).WritePGM)
 	})
-	add("2", []string{"case"}, func(deps map[string]any) error {
-		return g.write("fig2.dot", func(f io.Writer) error {
+	add("2", []string{"case"}, func(deps map[string]any, out *[]figFile) error {
+		return render(out, "fig2.dot", func(f io.Writer) error {
 			_, err := io.WriteString(f, caseOf(deps).AssemblyDOT)
 			return err
 		})
 	})
-	add("3", []string{"case"}, func(deps map[string]any) error {
-		return g.write("fig3.txt", caseOf(deps).WriteProfile)
+	add("3", []string{"case"}, func(deps map[string]any, out *[]figFile) error {
+		return render(out, "fig3.txt", caseOf(deps).WriteProfile)
 	})
-	add("4", []string{sweepKey(harness.KernelStates)}, func(deps map[string]any) error {
+	add("4", []string{sweepKey(harness.KernelStates)}, func(deps map[string]any, out *[]figFile) error {
 		s := deps[sweepKey(harness.KernelStates)].(*harness.SweepResult)
-		return g.write("fig4.csv", s.WriteScatterCSV)
+		return render(out, "fig4.csv", s.WriteScatterCSV)
 	})
-	add("5", []string{sweepKey(harness.KernelStates)}, func(deps map[string]any) error {
+	add("5", []string{sweepKey(harness.KernelStates)}, func(deps map[string]any, out *[]figFile) error {
 		s := deps[sweepKey(harness.KernelStates)].(*harness.SweepResult)
-		return g.write("fig5.csv", s.WriteRatiosCSV)
+		return render(out, "fig5.csv", s.WriteRatiosCSV)
 	})
 	for _, fk := range []struct {
 		n string
@@ -159,54 +236,154 @@ func (g *generator) jobs(want func(string) bool) []campaign.Job {
 		{"6", harness.KernelStates}, {"7", harness.KernelGodunov}, {"8", harness.KernelEFM},
 	} {
 		n, k := fk.n, fk.k
-		add(n, []string{modelKey(k)}, func(deps map[string]any) error {
-			return g.figModel(deps[modelKey(k)].(*harness.ComponentModel), "fig"+n)
+		add(n, []string{modelKey(k)}, func(deps map[string]any, out *[]figFile) error {
+			return g.figModel(deps[modelKey(k)].(*harness.ComponentModel), "fig"+n, out)
 		})
 	}
-	add("9", []string{"case"}, func(deps map[string]any) error {
-		return g.write("fig9.csv", caseOf(deps).WriteGhostCommCSV)
+	add("9", []string{"case"}, func(deps map[string]any, out *[]figFile) error {
+		return render(out, "fig9.csv", caseOf(deps).WriteGhostCommCSV)
 	})
 	add("10", []string{"case", modelKey(harness.KernelStates), modelKey(harness.KernelGodunov), modelKey(harness.KernelEFM)},
-		func(deps map[string]any) error {
+		func(deps map[string]any, out *[]figFile) error {
 			models := map[harness.Kernel]*harness.ComponentModel{}
 			for _, k := range []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM} {
 				models[k] = deps[modelKey(k)].(*harness.ComponentModel)
 			}
-			return g.fig10(caseOf(deps), models)
+			return g.fig10(caseOf(deps), models, out)
 		})
+
+	if want("trend") {
+		jobs = append(jobs, g.trendJobs()...)
+	}
 	return jobs
 }
 
-func (g *generator) write(name string, fn func(f io.Writer) error) error {
-	f, err := os.Create(filepath.Join(g.outDir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return fn(f)
+// sweepConfig builds the calibrated sweep for one kernel.
+func (g *generator) sweepConfig(k harness.Kernel) harness.SweepConfig {
+	cfg := harness.DefaultSweep(k)
+	cfg.World.Procs = g.procs
+	cfg.World.Seed = g.seed
+	cfg.Reps = g.reps
+	return cfg
 }
 
-func (g *generator) figModel(m *harness.ComponentModel, name string) error {
-	if err := g.write(name+".csv", func(f io.Writer) error {
+// trendJobs builds the Section 6 grid study: one streaming scenario job
+// per (cache size, replication) — each emits its rows into the shard sink
+// and keeps only the fitted model — plus the trend job that consumes every
+// grid point and renders the coefficient-vs-cache-size report.
+func (g *generator) trendJobs() []campaign.Job {
+	base := g.sweepConfig(harness.KernelStates)
+	grid := campaign.Grid{
+		Base:         base.World,
+		CacheKBs:     g.trendCaches,
+		Replications: g.trendReps,
+		BaseSeed:     g.seed,
+	}
+	jobs := harness.StreamJobs(base, grid)
+	after := make([]string, len(jobs))
+	for i, j := range jobs {
+		after[i] = j.Key
+	}
+	trend := g.figJob("trend", after, func(deps map[string]any, out *[]figFile) error {
+		points := make([]harness.GridPoint, len(after))
+		for i, key := range after {
+			points[i] = deps[key].(harness.GridPoint)
+		}
+		reports, err := harness.BuildTrends(points)
+		if err != nil {
+			return err
+		}
+		if err := render(out, "trend.csv", func(w io.Writer) error {
+			return harness.WriteTrendCSV(w, reports)
+		}); err != nil {
+			return err
+		}
+		return render(out, "trend.txt", func(w io.Writer) error {
+			return harness.WriteTrendReport(w, reports)
+		})
+	})
+	return append(jobs, trend)
+}
+
+// render runs a writer into a buffer and records the named output file.
+func render(out *[]figFile, name string, fn func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		return err
+	}
+	*out = append(*out, figFile{Name: name, Data: buf.Bytes()})
+	return nil
+}
+
+// figJob wraps a figure renderer as a checkpointable campaign job: Run
+// renders the output files, writes them and returns them as the job's
+// payload; a checkpoint hit rewrites the same bytes without re-rendering.
+func (g *generator) figJob(key string, after []string, renderFn func(deps map[string]any, out *[]figFile) error) campaign.Job {
+	parts := []any{figVersion, key, g.procs, g.seed, g.reps}
+	if key == "trend" {
+		// Only the trend job depends on the grid flags; folding them into
+		// every figure's hash would needlessly invalidate fig1-fig10
+		// checkpoints when the trend grid changes.
+		parts = append(parts, g.trendCaches, g.trendReps)
+	}
+	hash := store.Hash(parts...)
+	return campaign.Job{
+		Key:   key,
+		After: after,
+		Hash:  hash,
+		Encode: func(v any) ([]byte, error) {
+			var buf bytes.Buffer
+			err := gob.NewEncoder(&buf).Encode(v.([]figFile))
+			return buf.Bytes(), err
+		},
+		Decode: func(_ context.Context, data []byte) (any, error) {
+			var files []figFile
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&files); err != nil {
+				return nil, err
+			}
+			return files, g.writeFiles(files)
+		},
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			var files []figFile
+			if err := renderFn(deps, &files); err != nil {
+				return nil, err
+			}
+			return files, g.writeFiles(files)
+		},
+	}
+}
+
+// writeFiles persists a figure job's rendered outputs.
+func (g *generator) writeFiles(files []figFile) error {
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(g.outDir, f.Name), f.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) figModel(m *harness.ComponentModel, name string, out *[]figFile) error {
+	if err := render(out, name+".csv", func(f io.Writer) error {
 		return harness.WriteMeanSigmaCSV(f, m)
 	}); err != nil {
 		return err
 	}
-	return g.write(name+"_model.txt", func(f io.Writer) error {
+	return render(out, name+"_model.txt", func(f io.Writer) error {
 		return harness.WriteModelReport(f, m)
 	})
 }
 
-func (g *generator) fig10(caseRes *harness.CaseStudyResult, models map[harness.Kernel]*harness.ComponentModel) error {
+func (g *generator) fig10(caseRes *harness.CaseStudyResult, models map[harness.Kernel]*harness.ComponentModel, out *[]figFile) error {
 	god := models[harness.KernelGodunov]
 	efm := models[harness.KernelEFM]
 	dual := harness.BuildDual(caseRes, models)
-	if err := g.write("fig10.dot", func(f io.Writer) error {
+	if err := render(out, "fig10.dot", func(f io.Writer) error {
 		return dual.WriteDOT(f, "application-dual")
 	}); err != nil {
 		return err
 	}
-	return g.write("fig10.txt", func(f io.Writer) error {
+	return render(out, "fig10.txt", func(f io.Writer) error {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "composite model cost: %.0f us\n\n", dual.Cost())
 		opt := &assembly.Optimizer{

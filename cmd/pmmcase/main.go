@@ -1,8 +1,9 @@
 // Command pmmcase runs the paper's case study end to end on the simulated
 // platform: the CCA component application (SAMR shock/interface simulation)
 // with the PMM infrastructure interposed, printing the Fig. 3 FUNCTION
-// SUMMARY and, optionally, the fitted Eq. 1/Eq. 2 performance models and
-// the record dumps.
+// SUMMARY and, optionally, the fitted Eq. 1/Eq. 2 performance models, the
+// record dumps, and the cross-scenario trend report (-report) that fits
+// model coefficients against cache size over a streamed grid.
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/components"
 	"repro/internal/harness"
+	"repro/internal/results"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 		models  = flag.Bool("models", false, "run the kernel sweeps and print Eq. 1/2 fits")
 		records = flag.Bool("records", false, "dump the Mastermind records (CSV)")
 		cacheSt = flag.Bool("cachestudy", false, "refit the States model under 128kB/512kB/1MB caches and fit the cache-aware T(Q,DCM) model (paper Section 6 outlook)")
+		report  = flag.Bool("report", false, "stream a cache-size x flux grid through an aggregating sink and print the coefficient-vs-cache-size trend report")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
 	)
@@ -116,6 +119,49 @@ func main() {
 		}
 		fmt.Printf("cache-aware model (512 kB): T = %s\n", ml)
 		fmt.Printf("  R2 with DCM folded in: %.4f   (Q-only linear: %.4f)\n", r2Aware, r2Plain)
+	}
+
+	if *report {
+		fmt.Println()
+		// A reduced States/EFM sweep keeps the grid quick; the campaign
+		// streams every scenario's rows into an aggregating sink, so no
+		// per-scenario SweepResult survives its job.
+		base := harness.DefaultSweep(harness.KernelStates)
+		base.World.Procs = *procs
+		base.World.Seed = *seed
+		base.Sizes = base.Sizes[:8]
+		base.Reps = 2
+		grid := campaign.Grid{
+			Base:         base.World,
+			CacheKBs:     []int{128, 256, 512, 1024},
+			Fluxes:       []string{"states", "efm"},
+			Replications: 2,
+			BaseSeed:     *seed,
+		}
+		agg := results.NewAggSink()
+		ccr := cc
+		ccr.Sink = agg
+		pts, err := harness.StreamSweepGrid(context.Background(), ccr, base, grid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reports, err := harness.BuildTrends(pts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteTrendReport(os.Stdout, reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nstreamed aggregates over %d scenarios (wall_us per scenario):\n", len(pts))
+		for _, key := range agg.Keys() {
+			if st, ok := agg.Stat(key, "wall_us"); ok {
+				fmt.Printf("  %-28s n=%4d  mean=%10.2f  min=%10.2f  max=%10.2f\n",
+					key, st.N, st.Mean, st.Min, st.Max)
+			}
+		}
 	}
 
 	if *models {

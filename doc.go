@@ -20,7 +20,11 @@
 //     dual graph with implementation-choice optimization (Fig. 10);
 //   - a campaign engine (internal/campaign) that runs the evaluation as a
 //     parallel job graph: every sweep, case study and model fit is an
-//     independent simulated-machine job executed by a worker pool.
+//     independent simulated-machine job executed by a worker pool;
+//   - a streaming result subsystem (internal/results) — row sinks,
+//     a content-addressed checkpoint store, and cross-scenario trend
+//     reports — so campaigns scale to thousands of scenarios and resume
+//     after interruption.
 //
 // # Campaigns
 //
@@ -43,6 +47,32 @@
 //
 // See examples/campaign for a grid study and cmd/figures for the full
 // figure-regeneration graph.
+//
+// # Results and checkpointing
+//
+// Campaign jobs do not have to buffer whole results in memory: they stream
+// rows into a Sink (CampaignConfig.Sink), and the streaming grid driver
+// (StreamSweepGrid) keeps only a small GridPoint per scenario, so a
+// thousand-scenario grid runs in bounded memory:
+//
+//   - a Row is an ordered list of named, typed fields; jobs emit rows
+//     under their campaign key via EmitRow;
+//   - sinks are concurrency-safe and deterministic (rows keep per-key
+//     order): NewCSVShardSink writes one CSV file per key, NewAggSink
+//     keeps running mean/min/max/stddev per (key, field) and drops the
+//     rows, NewMemorySink buffers for tests, NewTee fans out to several
+//     sinks at once;
+//   - every harness job is checkpointable: with CampaignConfig.Store set
+//     (OpenStore), finished payloads persist content-addressed by
+//     (job key, config hash), so an interrupted campaign — a killed
+//     cmd/figures run, a canceled grid — resumes re-running zero
+//     completed jobs and produces byte-identical output, with cached
+//     jobs replaying their rows into the sink;
+//   - the cross-scenario trend report (BuildTrends, WriteTrendCSV,
+//     WriteTrendReport) fits every model coefficient against cache size
+//     over a streamed grid — the paper's Section 6 "coefficients
+//     parameterized by a cache model" — and is emitted by
+//     "cmd/figures -fig trend" and "cmd/pmmcase -report".
 //
 // This package is the facade: it re-exports the experiment harness and the
 // campaign engine that regenerate every figure of the paper's evaluation.

@@ -1,18 +1,23 @@
 // Campaign: run a parameter-grid study of the States kernel as one
-// parallel campaign — the paper's Section 6 outlook ("the coefficients
-// should be parameterized by processor speed and a cache model") scaled to
-// many scenarios at once.
+// parallel, streaming, checkpointed campaign — the paper's Section 6
+// outlook ("the coefficients should be parameterized by processor speed
+// and a cache model") scaled to many scenarios at once.
 //
 // A Grid cross-products cache sizes with seed replications into
-// independent simulated-machine jobs; the campaign engine runs them on a
-// worker pool with per-scenario deterministic seeds, so the study's output
-// is identical no matter how many workers execute it.
+// independent simulated-machine jobs. Each job streams its telemetry rows
+// into a sink (here a CSV-shard sink teed with an on-the-fly aggregator)
+// and checkpoints its fitted model into a content-addressed store, then
+// drops its raw sweep: memory stays bounded as the grid grows, and
+// re-running the example resumes from the store, executing zero completed
+// scenarios while producing identical output.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro"
@@ -33,43 +38,61 @@ func main() {
 	}
 	fmt.Printf("campaign: %d scenarios on %d workers\n", len(g.Scenarios()), runtime.NumCPU())
 
+	// Streamed results: one CSV shard per scenario plus running aggregates,
+	// checkpointed under a cache directory for cheap re-runs.
+	outDir := "campaign-out"
+	shards, err := repro.NewCSVShardSink(filepath.Join(outDir, "rows"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := repro.NewAggSink()
+	st, err := repro.OpenStore(filepath.Join(outDir, ".cache"))
+	if err != nil {
+		log.Fatal(err)
+	}
 	cc := repro.CampaignConfig{
+		Store: st,
+		Sink:  repro.NewTee(shards, agg),
 		OnProgress: func(e repro.CampaignEvent) {
 			status := "ok"
+			if e.Cached {
+				status = "ok (from checkpoint)"
+			}
 			if e.Err != nil {
 				status = e.Err.Error()
 			}
-			fmt.Printf("  [%2d/%2d] %-18s %8.2fs  %s\n",
+			fmt.Printf("  [%2d/%2d] %-22s %8.2fs  %s\n",
 				e.Done, e.Total, e.Key, e.Elapsed.Seconds(), status)
 		},
 	}
-	pts, err := repro.RunSweepGrid(context.Background(), cc, base, g)
+	pts, err := repro.StreamSweepGrid(context.Background(), cc, base, g)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := shards.Close(); err != nil {
+		log.Fatal(err)
+	}
 
-	// The functional form stays a power law while the coefficients move
-	// with the cache size — averaged over replications.
-	fmt.Println("\nfitted States mean models by cache size:")
-	for i := 0; i < len(pts); i += g.Replications {
-		sc := pts[i].Scenario
-		fmt.Printf("  %5d kB:", sc.CacheKB)
-		for r := 0; r < g.Replications; r++ {
-			fmt.Printf("  r%d: T = %v", r, pts[i+r].Model.Mean)
+	// The streamed aggregates: per-scenario wall-time statistics computed
+	// on the fly, no raw rows retained.
+	fmt.Println("\nstreamed wall_us aggregates (per scenario):")
+	for _, key := range agg.Keys() {
+		if s, ok := agg.Stat(key, "wall_us"); ok {
+			fmt.Printf("  %-24s n=%4d  mean=%10.2f  sd=%10.2f\n", key, s.N, s.Mean, s.StdDev)
 		}
-		fmt.Println()
 	}
 
-	// Determinism spot check: replay the first scenario alone and compare.
-	replay, err := repro.RunSweepGrid(context.Background(),
-		repro.CampaignConfig{Workers: 1}, base,
-		repro.Grid{Base: g.Base, CacheKBs: g.CacheKBs[:1], Replications: 1, BaseSeed: g.BaseSeed})
+	// The cross-scenario trend: the functional form stays a power law
+	// while the coefficients move with the cache size — and the trend fit
+	// turns that movement into a model of its own.
+	reports, err := repro.BuildTrends(pts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if fmt.Sprint(replay[0].Model.Mean) == fmt.Sprint(pts[0].Model.Mean) {
-		fmt.Println("\nreplay of", pts[0].Scenario.Key, "is byte-identical: worker count never changes results")
-	} else {
-		fmt.Println("\nWARNING: replay diverged")
+	fmt.Println()
+	if err := repro.WriteTrendReport(os.Stdout, reports); err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nscenario rows under %s, checkpoints under %s — re-run me: zero scenarios re-execute\n",
+		filepath.Join(outDir, "rows"), filepath.Join(outDir, ".cache"))
 }

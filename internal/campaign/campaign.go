@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/results"
 )
 
 // Job is one schedulable unit of a campaign: typically a full
@@ -37,6 +39,25 @@ type Job struct {
 	// Run performs the work. deps maps each After key to that job's value.
 	// The context is canceled when the campaign aborts.
 	Run func(ctx context.Context, deps map[string]any) (any, error)
+
+	// Hash, when non-empty, makes the job checkpointable: before Run, the
+	// campaign store (Config.Store) is consulted at (Key, Hash) and a hit
+	// settles the job with the decoded payload instead of running it; after
+	// a successful run the encoded value is saved. The hash must fingerprint
+	// everything the job's output depends on (its full configuration).
+	Hash string
+	// Encode marshals the job's value for the store. Nil disables saving.
+	Encode func(v any) ([]byte, error)
+	// Decode unmarshals a stored payload back into the job's value. Nil
+	// disables lookup; a decode error is treated as a cache miss and the
+	// job runs. The context is the same one Run would have received
+	// (carrying the campaign sink), so Decode can replay side effects —
+	// typically re-emitting the job's result rows via Emit — and a resumed
+	// campaign streams exactly what an uninterrupted one would. Errors
+	// from such replays must be wrapped with ErrReplay: they fail the job
+	// rather than re-run it, because the rows already emitted cannot be
+	// taken back.
+	Decode func(ctx context.Context, data []byte) (any, error)
 }
 
 // Result is one job's outcome, reported in submission order.
@@ -50,6 +71,9 @@ type Result struct {
 	Err error
 	// Elapsed is the job's real (host) execution time; zero if it never ran.
 	Elapsed time.Duration
+	// Cached reports that the value came from the checkpoint store and Run
+	// was never invoked.
+	Cached bool
 }
 
 // Event is one progress report, delivered serially as jobs settle.
@@ -62,6 +86,8 @@ type Event struct {
 	Elapsed time.Duration
 	// Done and Total count settled jobs against the campaign size.
 	Done, Total int
+	// Cached reports that the job was satisfied from the checkpoint store.
+	Cached bool
 }
 
 // Config tunes a campaign run.
@@ -78,10 +104,54 @@ type Config struct {
 	// never job execution. The callback must not call back into the
 	// campaign.
 	OnProgress func(Event)
+	// Store, when set, checkpoints jobs that carry a Hash: completed
+	// payloads are saved under (key, hash) and consulted before running, so
+	// an interrupted campaign resumes without re-running finished jobs.
+	Store Store
+	// Sink, when set, receives the rows jobs emit via Emit(ctx, ...). The
+	// sink is flushed (not closed) when the campaign returns; flush errors
+	// join the campaign error.
+	Sink results.Sink
+}
+
+// Store is the checkpoint interface the campaign consults for jobs with a
+// Hash (results/store.Store implements it). Get reports a missing entry
+// with ok=false, not an error; Put must be atomic under concurrent use.
+type Store interface {
+	Get(key, hash string) (payload []byte, ok bool, err error)
+	Put(key, hash string, payload []byte) error
+}
+
+// sinkKey carries the campaign sink through job contexts.
+type sinkKey struct{}
+
+// WithSink returns a context through which Emit reaches the given sink.
+// Run installs the Config.Sink automatically; this is exported for tests
+// and for running job closures outside a campaign.
+func WithSink(ctx context.Context, s results.Sink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// Emit streams one result row from a job to the campaign sink under the
+// given key (by convention the emitting job's key). Without a sink in the
+// context it is a no-op, so jobs emit unconditionally and stay usable in
+// sink-less campaigns.
+func Emit(ctx context.Context, key string, row results.Row) error {
+	if s, ok := ctx.Value(sinkKey{}).(results.Sink); ok && s != nil {
+		return s.Emit(key, row)
+	}
+	return nil
 }
 
 // ErrDependency marks a job skipped because a prerequisite failed.
 var ErrDependency = errors.New("campaign: dependency failed")
+
+// ErrReplay marks a Decode failure that happened while replaying a
+// checkpointed job's side effects (row emission), after the payload itself
+// decoded. Decode hooks wrap such errors so the campaign fails the job
+// loudly instead of re-running it — a re-run would emit the already
+// replayed rows a second time, silently corrupting sink output.
+var ErrReplay = errors.New("campaign: checkpoint replay failed")
 
 // state tracks one job through the scheduler.
 type state struct {
@@ -143,12 +213,20 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if cfg.Sink != nil {
+		ctx = WithSink(ctx, cfg.Sink)
+	}
 
 	run := &runState{
-		ctx:     ctx,
-		cancel:  cancel,
-		cfg:     cfg,
-		jobs:    jobs,
+		ctx:    ctx,
+		cancel: cancel,
+		cfg:    cfg,
+		// Jobs are copied so settled entries can be dropped without
+		// mutating the caller's slice: a job's closures (and anything they
+		// capture, like a streaming job's emitted rows awaiting Encode)
+		// become collectable as soon as it settles, keeping campaign
+		// memory bounded by the jobs in flight.
+		jobs:    append([]Job(nil), jobs...),
 		states:  states,
 		index:   index,
 		results: results,
@@ -188,6 +266,11 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 	for i := range results {
 		if results[i].Err != nil {
 			errs = append(errs, fmt.Errorf("job %q: %w", results[i].Key, results[i].Err))
+		}
+	}
+	if cfg.Sink != nil {
+		if err := cfg.Sink.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("campaign: sink flush: %w", err))
 		}
 	}
 	return results, errors.Join(errs...)
@@ -250,7 +333,7 @@ func (r *runState) work() {
 		r.ready = r.ready[1:]
 
 		if err := r.ctx.Err(); err != nil {
-			r.settleLocked(i, nil, err, 0)
+			r.settleLocked(i, nil, err, 0, false)
 			continue
 		}
 		job := r.jobs[i]
@@ -259,21 +342,57 @@ func (r *runState) work() {
 			deps[dep] = r.results[r.index[dep]].Value
 		}
 		r.mu.Unlock()
-		start := time.Now()
-		v, err := job.Run(r.ctx, deps)
-		elapsed := time.Since(start)
+		v, elapsed, cached, err := r.execute(job, deps)
 		r.mu.Lock()
-		r.settleLocked(i, v, err, elapsed)
+		r.settleLocked(i, v, err, elapsed, cached)
 	}
+}
+
+// execute satisfies one claimed job: from the checkpoint store when the
+// job is checkpointable and a payload exists, otherwise by running it (and
+// saving the new payload). A store read failure or an undecodable payload
+// degrades to a cache miss; a replay failure (ErrReplay: the payload
+// decoded but re-emitting its rows failed partway) fails the job instead
+// of re-running it, since a re-run would duplicate the replayed rows; and
+// a failure to save a finished result is a job error — silently losing the
+// checkpoint would make "resume re-runs nothing" a lie.
+func (r *runState) execute(job Job, deps map[string]any) (any, time.Duration, bool, error) {
+	start := time.Now()
+	checkpointed := job.Hash != "" && r.cfg.Store != nil
+	if checkpointed && job.Decode != nil {
+		if data, ok, err := r.cfg.Store.Get(job.Key, job.Hash); err == nil && ok {
+			v, derr := job.Decode(r.ctx, data)
+			if derr == nil {
+				return v, time.Since(start), true, nil
+			}
+			if errors.Is(derr, ErrReplay) {
+				return nil, time.Since(start), true, derr
+			}
+		}
+	}
+	v, err := job.Run(r.ctx, deps)
+	if err == nil && checkpointed && job.Encode != nil {
+		if data, eerr := job.Encode(v); eerr != nil {
+			err = fmt.Errorf("checkpoint encode: %w", eerr)
+		} else if perr := r.cfg.Store.Put(job.Key, job.Hash, data); perr != nil {
+			err = fmt.Errorf("checkpoint save: %w", perr)
+		}
+	}
+	if err != nil {
+		v = nil
+	}
+	return v, time.Since(start), false, err
 }
 
 // settleLocked records a job's outcome, releases or skips its dependents,
 // and emits the progress event. Caller holds r.mu.
-func (r *runState) settleLocked(i int, v any, err error, elapsed time.Duration) {
+func (r *runState) settleLocked(i int, v any, err error, elapsed time.Duration, cached bool) {
 	r.results[i].Value = v
 	r.results[i].Err = err
 	r.results[i].Elapsed = elapsed
+	r.results[i].Cached = cached
 	r.states[i].settled = true
+	r.jobs[i] = Job{Key: r.jobs[i].Key} // release the job's closures
 	r.done++
 	if err != nil {
 		if r.cfg.FailFast {
@@ -291,7 +410,7 @@ func (r *runState) settleLocked(i int, v any, err error, elapsed time.Duration) 
 	if r.cfg.OnProgress != nil {
 		r.pending = append(r.pending, Event{
 			Key: r.results[i].Key, Err: err, Elapsed: elapsed,
-			Done: r.done, Total: r.total,
+			Done: r.done, Total: r.total, Cached: cached,
 		})
 	}
 	r.cond.Broadcast()

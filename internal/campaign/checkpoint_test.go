@@ -1,0 +1,284 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/results"
+)
+
+// memStore is an in-memory Store for tests.
+type memStore struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	puts    int
+}
+
+func newMemStore() *memStore { return &memStore{entries: map[string][]byte{}} }
+
+func (m *memStore) Get(key, hash string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.entries[key+"\x00"+hash]
+	return data, ok, nil
+}
+
+func (m *memStore) Put(key, hash string, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key+"\x00"+hash] = payload
+	m.puts++
+	return nil
+}
+
+// countingJob is a checkpointable job whose executions are counted.
+func countingJob(key, hash string, runs *atomic.Int64) Job {
+	return Job{
+		Key:    key,
+		Hash:   hash,
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(_ context.Context, data []byte) (any, error) {
+			var v string
+			err := json.Unmarshal(data, &v)
+			return v, err
+		},
+		Run: func(context.Context, map[string]any) (any, error) {
+			runs.Add(1)
+			return "value-" + key, nil
+		},
+	}
+}
+
+func TestStoreSatisfiesCompletedJobs(t *testing.T) {
+	t.Parallel()
+	st := newMemStore()
+	var runs atomic.Int64
+	jobs := func() []Job {
+		var js []Job
+		for i := 0; i < 6; i++ {
+			js = append(js, countingJob(fmt.Sprintf("job/%d", i), "h1", &runs))
+		}
+		return js
+	}
+
+	res, err := Run(context.Background(), Config{Store: st}, jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 6 {
+		t.Fatalf("first run executed %d jobs, want 6", got)
+	}
+	for _, r := range res {
+		if r.Cached {
+			t.Errorf("%s cached on first run", r.Key)
+		}
+	}
+
+	res2, err := Run(context.Background(), Config{Store: st}, jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 6 {
+		t.Fatalf("second run re-executed %d jobs, want 0", got-6)
+	}
+	for i, r := range res2 {
+		if !r.Cached {
+			t.Errorf("%s not cached on second run", r.Key)
+		}
+		if r.Value != res[i].Value {
+			t.Errorf("%s: cached value %v != original %v", r.Key, r.Value, res[i].Value)
+		}
+	}
+}
+
+func TestStoreIgnoresChangedHash(t *testing.T) {
+	t.Parallel()
+	st := newMemStore()
+	var runs atomic.Int64
+	if _, err := Run(context.Background(), Config{Store: st},
+		[]Job{countingJob("k", "cfgA", &runs)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same key, different config hash: the stored payload must not match.
+	if _, err := Run(context.Background(), Config{Store: st},
+		[]Job{countingJob("k", "cfgB", &runs)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("executed %d, want 2 (changed hash must re-run)", got)
+	}
+}
+
+func TestUndecodablePayloadDegradesToMiss(t *testing.T) {
+	t.Parallel()
+	st := newMemStore()
+	if err := st.Put("k", "h", []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int64
+	res, err := Run(context.Background(), Config{Store: st}, []Job{countingJob("k", "h", &runs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 || res[0].Cached {
+		t.Errorf("corrupt payload not treated as miss: runs=%d cached=%v", runs.Load(), res[0].Cached)
+	}
+	// The re-run overwrote the corrupt entry.
+	if data, ok, _ := st.Get("k", "h"); !ok || string(data) == "not json" {
+		t.Error("corrupt entry not replaced")
+	}
+}
+
+func TestInterruptedCampaignResumesWithZeroReruns(t *testing.T) {
+	t.Parallel()
+	st := newMemStore()
+	var runs atomic.Int64
+	const total, interruptAt = 8, 3
+	jobs := func(cancel context.CancelFunc) []Job {
+		var js []Job
+		for i := 0; i < total; i++ {
+			j := countingJob(fmt.Sprintf("job/%d", i), "h", &runs)
+			if i == interruptAt && cancel != nil {
+				// The interrupting job kills the campaign mid-run, like a
+				// SIGINT landing while job 3 executes: jobs 0..2 have
+				// already checkpointed, 3 fails, 4..7 never run.
+				j.Run = func(context.Context, map[string]any) (any, error) {
+					runs.Add(1)
+					cancel()
+					return nil, fmt.Errorf("interrupted")
+				}
+			}
+			js = append(js, j)
+		}
+		return js
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, Config{Workers: 1, Store: st}, jobs(cancel))
+	if err == nil {
+		t.Fatal("interrupted campaign reported success")
+	}
+	if runs.Load() != interruptAt+1 {
+		t.Fatalf("%d jobs ran before the interrupt, want %d", runs.Load(), interruptAt+1)
+	}
+	if st.puts != interruptAt {
+		t.Fatalf("%d checkpoints stored, want %d", st.puts, interruptAt)
+	}
+
+	// Resume: only the unfinished jobs run; the finished ones come back
+	// Cached with their stored values.
+	var resumedCached int
+	res, err := Run(context.Background(), Config{Store: st, OnProgress: func(e Event) {
+		if e.Cached {
+			resumedCached++
+		}
+	}}, jobs(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun := runs.Load() - (interruptAt + 1); rerun != total-interruptAt {
+		t.Errorf("resume re-executed %d jobs, want %d (completed %d must not re-run)",
+			rerun, total-interruptAt, interruptAt)
+	}
+	if resumedCached != interruptAt {
+		t.Errorf("resume reported %d cached, want %d", resumedCached, interruptAt)
+	}
+	for i, r := range res {
+		if want := fmt.Sprintf("value-job/%d", i); r.Value != want {
+			t.Errorf("resumed value[%d] = %v, want %s", i, r.Value, want)
+		}
+	}
+}
+
+func TestReplayFailureFailsJobInsteadOfRerunning(t *testing.T) {
+	t.Parallel()
+	st := newMemStore()
+	if err := st.Put("k", "h", []byte(`5`)); err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int64
+	job := Job{
+		Key:  "k",
+		Hash: "h",
+		Decode: func(context.Context, []byte) (any, error) {
+			// The payload decoded but replaying its rows failed partway: a
+			// re-run would duplicate the rows already in the sink.
+			return nil, fmt.Errorf("%w: disk full", ErrReplay)
+		},
+		Run: func(context.Context, map[string]any) (any, error) {
+			runs.Add(1)
+			return "fresh", nil
+		},
+	}
+	res, err := Run(context.Background(), Config{Store: st}, []Job{job})
+	if err == nil || !errors.Is(err, ErrReplay) {
+		t.Fatalf("campaign error = %v, want ErrReplay", err)
+	}
+	if runs.Load() != 0 {
+		t.Errorf("job re-ran %d times after a replay failure", runs.Load())
+	}
+	if !res[0].Cached || res[0].Value != nil {
+		t.Errorf("result = %+v, want cached failure with nil value", res[0])
+	}
+}
+
+func TestConfigSinkReachesJobsAndReplays(t *testing.T) {
+	t.Parallel()
+	st := newMemStore()
+	emittingJob := func(key string) Job {
+		row := results.Row{results.F("v", 1.5)}
+		return Job{
+			Key:    key,
+			Hash:   "h",
+			Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+			Decode: func(ctx context.Context, data []byte) (any, error) {
+				// Replay the emission from the checkpoint, like harness
+				// jobs do.
+				var v int
+				if err := json.Unmarshal(data, &v); err != nil {
+					return nil, err
+				}
+				return v, Emit(ctx, key, row)
+			},
+			Run: func(ctx context.Context, _ map[string]any) (any, error) {
+				return 7, Emit(ctx, key, row)
+			},
+		}
+	}
+
+	live := results.NewMemorySink()
+	if _, err := Run(context.Background(), Config{Store: st, Sink: live},
+		[]Job{emittingJob("a"), emittingJob("b")}); err != nil {
+		t.Fatal(err)
+	}
+	replayed := results.NewMemorySink()
+	res, err := Run(context.Background(), Config{Store: st, Sink: replayed},
+		[]Job{emittingJob("a"), emittingJob("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.Cached {
+			t.Errorf("%s not cached", r.Key)
+		}
+	}
+	for _, key := range []string{"a", "b"} {
+		if len(live.Rows(key)) != 1 || len(replayed.Rows(key)) != 1 {
+			t.Fatalf("rows live=%d replayed=%d for %s",
+				len(live.Rows(key)), len(replayed.Rows(key)), key)
+		}
+		if fmt.Sprint(live.Rows(key)[0]) != fmt.Sprint(replayed.Rows(key)[0]) {
+			t.Errorf("replayed row differs for %s", key)
+		}
+	}
+	// Without a sink, Emit is a harmless no-op (fresh store forces Run).
+	if _, err := Run(context.Background(), Config{}, []Job{emittingJob("a")}); err != nil {
+		t.Fatal(err)
+	}
+}

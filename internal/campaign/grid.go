@@ -14,11 +14,28 @@ type NamedNet struct {
 	Model netmodel.Model
 }
 
-// Grid is a scenario specification: the cross product of world parameters
-// the paper's evaluation varies — rank count, interconnect, cache size —
-// times seed replications. Expanding a Grid yields one Scenario (and hence
-// one campaign job) per combination, each with a deterministic per-scenario
-// seed derived from the base seed and the scenario key.
+// MeshSize is one app-level base-mesh dimension choice (cells in x and y).
+type MeshSize struct {
+	Nx, Ny int
+}
+
+// String renders the mesh the way scenario keys do ("96x24").
+func (m MeshSize) String() string { return fmt.Sprintf("%dx%d", m.Nx, m.Ny) }
+
+// Grid is a scenario specification: the cross product of the parameters
+// the paper's evaluation varies — world-level dimensions (rank count,
+// interconnect, cache size) and app-level dimensions (base mesh size, flux
+// implementation) — times seed replications. Expanding a Grid yields one
+// Scenario (and hence one campaign job) per combination, each with a
+// deterministic per-scenario seed derived from the base seed and the
+// scenario key.
+//
+// App-level dimensions are carried as plain labels on the Scenario; the
+// harness maps them onto its configs (Flux selects the measured flux
+// kernel in sweep grids and the assembly's flux implementation in
+// case-study runs; Mesh sets the case study's base grid). An unswept
+// dimension contributes no key segment, so adding dimensions never
+// perturbs the seeds of existing grids.
 type Grid struct {
 	// Base is the template world; every scenario starts from a copy.
 	Base mpi.WorldConfig
@@ -29,6 +46,13 @@ type Grid struct {
 	// CacheKBs lists per-rank cache capacities in kB. Empty keeps
 	// Base.Cache.SizeBytes.
 	CacheKBs []int
+	// Meshes lists app-level base mesh sizes to sweep. Empty leaves
+	// Scenario.Mesh zero (callers keep their configured mesh).
+	Meshes []MeshSize
+	// Fluxes lists app-level flux choices to sweep ("godunov", "efm").
+	// Empty leaves Scenario.Flux empty (callers keep their configured
+	// flux / kernel).
+	Fluxes []string
 	// Replications is the number of independently seeded repetitions of
 	// each combination. Zero or negative means 1.
 	Replications int
@@ -48,12 +72,21 @@ type Scenario struct {
 	Net string
 	// CacheKB is the cache capacity in kB.
 	CacheKB int
+	// Mesh is the app-level base mesh size; zero when the dimension is
+	// unswept.
+	Mesh MeshSize
+	// Flux is the app-level flux choice ("godunov", "efm"); empty when the
+	// dimension is unswept.
+	Flux string
 	// Replication is the repetition index in [0, Replications).
 	Replication int
 }
 
 // Scenarios expands the grid in deterministic nested order (ranks
-// outermost, replications innermost).
+// outermost, then nets, caches, meshes, fluxes, with replications
+// innermost). A swept app-level dimension adds its segment to the key
+// ("p3/eth/c512kB/m96x24/efm/r0"); unswept dimensions contribute nothing,
+// keeping existing grids' keys — and hence their derived seeds — stable.
 func (g Grid) Scenarios() []Scenario {
 	ranks := g.Ranks
 	if len(ranks) == 0 {
@@ -73,6 +106,14 @@ func (g Grid) Scenarios() []Scenario {
 	if len(caches) == 0 {
 		caches = []cacheChoice{{kb: g.Base.Cache.SizeBytes / 1024, bytes: g.Base.Cache.SizeBytes}}
 	}
+	meshes := g.Meshes
+	if len(meshes) == 0 {
+		meshes = []MeshSize{{}}
+	}
+	fluxes := g.Fluxes
+	if len(fluxes) == 0 {
+		fluxes = []string{""}
+	}
 	reps := g.Replications
 	if reps <= 0 {
 		reps = 1
@@ -81,7 +122,7 @@ func (g Grid) Scenarios() []Scenario {
 	if base == 0 {
 		base = g.Base.Seed
 	}
-	out := make([]Scenario, 0, len(ranks)*len(nets)*len(caches)*reps)
+	out := make([]Scenario, 0, len(ranks)*len(nets)*len(caches)*len(meshes)*len(fluxes)*reps)
 	for _, p := range ranks {
 		for _, net := range nets {
 			name := net.Name
@@ -89,17 +130,30 @@ func (g Grid) Scenarios() []Scenario {
 				name = "base"
 			}
 			for _, c := range caches {
-				for rep := 0; rep < reps; rep++ {
-					key := fmt.Sprintf("p%d/%s/c%dkB/r%d", p, name, c.kb, rep)
-					w := g.Base
-					w.Procs = p
-					w.Net = net.Model
-					w.Cache.SizeBytes = c.bytes
-					w.Seed = DeriveSeed(base, key)
-					out = append(out, Scenario{
-						Key: key, World: w,
-						Net: name, CacheKB: c.kb, Replication: rep,
-					})
+				for _, mesh := range meshes {
+					for _, flux := range fluxes {
+						for rep := 0; rep < reps; rep++ {
+							key := fmt.Sprintf("p%d/%s/c%dkB", p, name, c.kb)
+							if mesh != (MeshSize{}) {
+								key += fmt.Sprintf("/m%s", mesh)
+							}
+							if flux != "" {
+								key += "/" + flux
+							}
+							key += fmt.Sprintf("/r%d", rep)
+							w := g.Base
+							w.Procs = p
+							w.Net = net.Model
+							w.Cache.SizeBytes = c.bytes
+							w.Seed = DeriveSeed(base, key)
+							out = append(out, Scenario{
+								Key: key, World: w,
+								Net: name, CacheKB: c.kb,
+								Mesh: mesh, Flux: flux,
+								Replication: rep,
+							})
+						}
+					}
 				}
 			}
 		}

@@ -70,4 +70,60 @@ func TestGridEmptyDimensionsKeepBase(t *testing.T) {
 	if got[0].World.Cache.SizeBytes != 98_816 {
 		t.Errorf("unswept cache size rounded: %d bytes", got[0].World.Cache.SizeBytes)
 	}
+
+	// Unswept app-level dimensions contribute neither key segments nor
+	// scenario values, keeping pre-existing grids' keys (and seeds) stable.
+	sc = got[0]
+	if sc.Mesh != (MeshSize{}) || sc.Flux != "" {
+		t.Errorf("unswept app dims populated: %+v", sc)
+	}
+	if want := "p3/base/c96kB/r0"; sc.Key != want {
+		t.Errorf("key = %s, want %s", sc.Key, want)
+	}
+}
+
+func TestGridAppDimensions(t *testing.T) {
+	t.Parallel()
+	g := Grid{
+		Base:         mpi.DefaultConfig(),
+		CacheKBs:     []int{128, 512},
+		Meshes:       []MeshSize{{96, 24}, {192, 48}},
+		Fluxes:       []string{"godunov", "efm"},
+		Replications: 2,
+	}
+	scs := g.Scenarios()
+	if len(scs) != 2*2*2*2 {
+		t.Fatalf("%d scenarios, want 16", len(scs))
+	}
+	// Deterministic nested order: caches > meshes > fluxes > reps, with
+	// the swept app dims appearing as key segments.
+	wantKeys := []string{
+		"p3/base/c128kB/m96x24/godunov/r0",
+		"p3/base/c128kB/m96x24/godunov/r1",
+		"p3/base/c128kB/m96x24/efm/r0",
+		"p3/base/c128kB/m96x24/efm/r1",
+		"p3/base/c128kB/m192x48/godunov/r0",
+	}
+	for i, want := range wantKeys {
+		if scs[i].Key != want {
+			t.Errorf("key[%d] = %s, want %s", i, scs[i].Key, want)
+		}
+	}
+	seeds := map[int64]bool{}
+	for _, sc := range scs {
+		if sc.Mesh.Nx == 0 || sc.Flux == "" {
+			t.Errorf("%s: app dims not populated: %+v", sc.Key, sc)
+		}
+		if seeds[sc.World.Seed] {
+			t.Errorf("%s: duplicate seed", sc.Key)
+		}
+		seeds[sc.World.Seed] = true
+	}
+	// Expansion determinism: two expansions agree field by field.
+	again := g.Scenarios()
+	for i := range scs {
+		if scs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, scs[i], again[i])
+		}
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/components"
+	"repro/internal/results"
 )
 
 // This file adapts the experiment drivers to the campaign engine: every
@@ -13,25 +15,91 @@ import (
 // sweeps, the case study, the cache study — runs as one parallel job
 // graph. Worker count never changes results: each job's world draws its
 // randomness from its own config seed.
+//
+// Every job carries a checkpoint hash plus encode/decode hooks, so a
+// campaign.Config with a Store resumes an interrupted run without
+// re-executing finished jobs; and measurement jobs stream their telemetry
+// rows to the campaign sink (campaign.Emit), both live and when replayed
+// from the store.
 
-// SweepJob wraps RunSweep as a campaign job under the given key.
-func SweepJob(key string, cfg SweepConfig) campaign.Job {
-	return campaign.Job{Key: key, Run: func(context.Context, map[string]any) (any, error) {
-		return RunSweep(cfg)
-	}}
+// emitRows streams rows to the ambient campaign sink under key.
+func emitRows(ctx context.Context, key string, rows []results.Row) error {
+	for _, row := range rows {
+		if err := campaign.Emit(ctx, key, row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// CaseStudyJob wraps RunCaseStudy as a campaign job under the given key.
+// replayRows is emitRows for Decode hooks: a failure is wrapped with
+// campaign.ErrReplay so the campaign fails the job loudly instead of
+// re-running it and duplicating the rows already replayed into the sink.
+func replayRows(ctx context.Context, key string, rows []results.Row) error {
+	if err := emitRows(ctx, key, rows); err != nil {
+		return fmt.Errorf("%w: %w", campaign.ErrReplay, err)
+	}
+	return nil
+}
+
+// SweepJob wraps RunSweep as a checkpointable campaign job under the given
+// key, emitting the sweep's telemetry rows to the campaign sink.
+func SweepJob(key string, cfg SweepConfig) campaign.Job {
+	return campaign.Job{
+		Key:    key,
+		Hash:   jobHash("sweep", cfg),
+		Encode: encodeGob,
+		Decode: func(ctx context.Context, data []byte) (any, error) {
+			sw, err := decodeGob[*SweepResult](data)
+			if err != nil {
+				return nil, err
+			}
+			return sw, replayRows(ctx, key, sw.Rows())
+		},
+		Run: func(ctx context.Context, _ map[string]any) (any, error) {
+			sw, err := RunSweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return sw, emitRows(ctx, key, sw.Rows())
+		},
+	}
+}
+
+// CaseStudyJob wraps RunCaseStudy as a checkpointable campaign job under
+// the given key, emitting the FUNCTION SUMMARY rows to the campaign sink.
 func CaseStudyJob(key string, cfg CaseStudyConfig) campaign.Job {
-	return campaign.Job{Key: key, Run: func(context.Context, map[string]any) (any, error) {
-		return RunCaseStudy(cfg)
-	}}
+	return campaign.Job{
+		Key:    key,
+		Hash:   jobHash("case", cfg),
+		Encode: encodeGob,
+		Decode: func(ctx context.Context, data []byte) (any, error) {
+			res, err := decodeGob[*CaseStudyResult](data)
+			if err != nil {
+				return nil, err
+			}
+			return res, replayRows(ctx, key, res.Rows())
+		},
+		Run: func(ctx context.Context, _ map[string]any) (any, error) {
+			res, err := RunCaseStudy(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res, emitRows(ctx, key, res.Rows())
+		},
+	}
 }
 
 // ModelJob fits Eq. 1/2 models to the sweep produced by the job named
-// sweepKey.
-func ModelJob(key, sweepKey string) campaign.Job {
+// sweepKey. The sweep's config makes the fit checkpointable: the fit is a
+// pure function of the sweep, which is itself a pure function of cfg.
+func ModelJob(key, sweepKey string, cfg SweepConfig) campaign.Job {
 	return campaign.Job{Key: key, After: []string{sweepKey},
+		Hash:   jobHash("model", cfg),
+		Encode: encodeGob,
+		Decode: func(_ context.Context, data []byte) (any, error) {
+			return decodeGob[*ComponentModel](data)
+		},
 		Run: func(_ context.Context, deps map[string]any) (any, error) {
 			return FitModels(deps[sweepKey].(*SweepResult))
 		}}
@@ -59,19 +127,26 @@ func RunSweeps(ctx context.Context, cc campaign.Config, cfgs []SweepConfig) ([]*
 // CachePointJob runs the base sweep under one cache size and fits the
 // kernel model — one point of the Section 6 cache study.
 func CachePointJob(key string, base SweepConfig, cacheKB int) campaign.Job {
-	return campaign.Job{Key: key, Run: func(context.Context, map[string]any) (any, error) {
-		cfg := base
-		cfg.World.Cache.SizeBytes = cacheKB * 1024
-		sw, err := RunSweep(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("harness: cache study at %d kB: %w", cacheKB, err)
-		}
-		cm, err := FitModels(sw)
-		if err != nil {
-			return nil, fmt.Errorf("harness: cache study fit at %d kB: %w", cacheKB, err)
-		}
-		return CachePoint{CacheKB: cacheKB, Model: cm}, nil
-	}}
+	return campaign.Job{
+		Key:    key,
+		Hash:   jobHash("cachepoint", base, cacheKB),
+		Encode: encodeGob,
+		Decode: func(_ context.Context, data []byte) (any, error) {
+			return decodeGob[CachePoint](data)
+		},
+		Run: func(context.Context, map[string]any) (any, error) {
+			cfg := base
+			cfg.World.Cache.SizeBytes = cacheKB * 1024
+			sw, err := RunSweep(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("harness: cache study at %d kB: %w", cacheKB, err)
+			}
+			cm, err := FitModels(sw)
+			if err != nil {
+				return nil, fmt.Errorf("harness: cache study fit at %d kB: %w", cacheKB, err)
+			}
+			return CachePoint{CacheKB: cacheKB, Model: cm}, nil
+		}}
 }
 
 // RunCacheStudyCampaign is RunCacheStudy on the campaign engine: one job
@@ -93,6 +168,58 @@ func RunCacheStudyCampaign(ctx context.Context, cc campaign.Config, base SweepCo
 	return out, nil
 }
 
+// scenarioSweepConfig specializes the base sweep to one grid scenario: the
+// scenario's world, plus its flux-choice dimension, which selects the
+// measured kernel ("godunov", "efm", "states"; empty keeps the base
+// kernel).
+func scenarioSweepConfig(base SweepConfig, sc campaign.Scenario) (SweepConfig, error) {
+	cfg := base
+	cfg.World = sc.World
+	switch sc.Flux {
+	case "":
+	case "godunov":
+		cfg.Kernel = KernelGodunov
+	case "efm":
+		cfg.Kernel = KernelEFM
+	case "states":
+		cfg.Kernel = KernelStates
+	default:
+		return cfg, fmt.Errorf("harness: unknown flux dimension %q in scenario %q", sc.Flux, sc.Key)
+	}
+	return cfg, nil
+}
+
+// CaseScenarioConfig specializes a case-study config to one grid scenario:
+// the scenario's world plus the app-level dimensions — mesh size sets the
+// base grid, flux choice selects the assembly's flux implementation.
+func CaseScenarioConfig(base CaseStudyConfig, sc campaign.Scenario) (CaseStudyConfig, error) {
+	cfg := base
+	cfg.World = sc.World
+	if sc.Mesh != (campaign.MeshSize{}) {
+		cfg.App.Mesh.BaseNx, cfg.App.Mesh.BaseNy = sc.Mesh.Nx, sc.Mesh.Ny
+	}
+	switch sc.Flux {
+	case "":
+	case "godunov":
+		cfg.App.Flux = components.Godunov
+	case "efm":
+		cfg.App.Flux = components.EFM
+	default:
+		return cfg, fmt.Errorf("harness: unknown flux dimension %q in scenario %q", sc.Flux, sc.Key)
+	}
+	return cfg, nil
+}
+
+// CaseGridJob runs the case study under one grid scenario (world, mesh and
+// flux dimensions applied) as a checkpointable campaign job.
+func CaseGridJob(base CaseStudyConfig, sc campaign.Scenario) (campaign.Job, error) {
+	cfg, err := CaseScenarioConfig(base, sc)
+	if err != nil {
+		return campaign.Job{}, err
+	}
+	return CaseStudyJob(sc.Key, cfg), nil
+}
+
 // GridSweep is one grid scenario's measured and fitted outcome.
 type GridSweep struct {
 	// Scenario locates the point in the grid.
@@ -104,26 +231,44 @@ type GridSweep struct {
 }
 
 // RunSweepGrid expands a scenario grid into sweep-and-fit jobs for the
-// base config's kernel and runs them as one campaign. The i-th returned
-// point corresponds to the i-th expanded scenario.
+// base config's kernel (the flux dimension, when swept, overrides the
+// kernel per scenario) and runs them as one campaign. The i-th returned
+// point corresponds to the i-th expanded scenario. Each GridSweep buffers
+// its whole SweepResult; for grids too large for that, use StreamSweepGrid.
 func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g campaign.Grid) ([]GridSweep, error) {
 	scs := g.Scenarios()
 	jobs := make([]campaign.Job, len(scs))
 	for i, sc := range scs {
 		sc := sc
-		jobs[i] = campaign.Job{Key: sc.Key, Run: func(context.Context, map[string]any) (any, error) {
-			cfg := base
-			cfg.World = sc.World
-			sw, err := RunSweep(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cm, err := FitModels(sw)
-			if err != nil {
-				return nil, err
-			}
-			return GridSweep{Scenario: sc, Result: sw, Model: cm}, nil
-		}}
+		jobs[i] = campaign.Job{
+			Key:    sc.Key,
+			Hash:   jobHash("gridsweep", base, sc),
+			Encode: encodeGob,
+			Decode: func(ctx context.Context, data []byte) (any, error) {
+				gs, err := decodeGob[GridSweep](data)
+				if err != nil {
+					return nil, err
+				}
+				return gs, replayRows(ctx, sc.Key, gs.Result.Rows())
+			},
+			Run: func(ctx context.Context, _ map[string]any) (any, error) {
+				cfg, err := scenarioSweepConfig(base, sc)
+				if err != nil {
+					return nil, err
+				}
+				sw, err := RunSweep(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if err := emitRows(ctx, sc.Key, sw.Rows()); err != nil {
+					return nil, err
+				}
+				cm, err := FitModels(sw)
+				if err != nil {
+					return nil, err
+				}
+				return GridSweep{Scenario: sc, Result: sw, Model: cm}, nil
+			}}
 	}
 	res, err := campaign.Run(ctx, cc, jobs)
 	if err != nil {

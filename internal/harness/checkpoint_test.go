@@ -1,0 +1,350 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/components"
+	"repro/internal/results"
+	"repro/internal/results/store"
+)
+
+// TestCheckpointRoundTripPreservesOutputBytes guards the resume guarantee
+// at the payload level: a result decoded from the store must render every
+// figure byte-for-byte like the live value.
+func TestCheckpointRoundTripPreservesOutputBytes(t *testing.T) {
+	t.Parallel()
+	caseRes, sweeps, models := sharedFixtures(t)
+
+	sw := sweeps[KernelStates]
+	data, err := encodeGob(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2, err := decodeGob[*SweepResult](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, write := range map[string]func(*SweepResult, *bytes.Buffer) error{
+		"scatter": func(s *SweepResult, b *bytes.Buffer) error { return s.WriteScatterCSV(b) },
+		"ratios":  func(s *SweepResult, b *bytes.Buffer) error { return s.WriteRatiosCSV(b) },
+	} {
+		var want, got bytes.Buffer
+		if err := write(sw, &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(sw2, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("%s CSV drifted through checkpoint", name)
+		}
+	}
+	if fmt.Sprint(sw.Rows()) != fmt.Sprint(sw2.Rows()) {
+		t.Error("telemetry rows drifted through checkpoint")
+	}
+
+	caseData, err := encodeGob(caseRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	case2, err := decodeGob[*CaseStudyResult](caseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, write := range map[string]func(*CaseStudyResult, *bytes.Buffer) error{
+		"profile":   func(r *CaseStudyResult, b *bytes.Buffer) error { return r.WriteProfile(b) },
+		"pgm":       func(r *CaseStudyResult, b *bytes.Buffer) error { return r.WritePGM(b) },
+		"ghostcomm": func(r *CaseStudyResult, b *bytes.Buffer) error { return r.WriteGhostCommCSV(b) },
+	} {
+		var want, got bytes.Buffer
+		if err := write(caseRes, &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(case2, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("case-study %s drifted through checkpoint", name)
+		}
+	}
+	if case2.AssemblyDOT != caseRes.AssemblyDOT || len(case2.Edges) != len(caseRes.Edges) {
+		t.Error("case-study DOT or trace drifted through checkpoint")
+	}
+
+	cm := models[KernelStates]
+	cmData, err := encodeGob(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := decodeGob[*ComponentModel](cmData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := WriteMeanSigmaCSV(&want, cm); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMeanSigmaCSV(&got, cm2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("model CSV drifted through checkpoint")
+	}
+}
+
+// readShards returns a shard directory's files as name -> content.
+func readShards(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		data, err := os.ReadFile(dir + "/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestStreamGridInterruptResumeByteIdentical is the end-to-end resume
+// guarantee: a streamed grid campaign killed mid-run (context cancel) and
+// resumed against the same store re-executes zero completed scenarios and
+// produces byte-identical streamed output and trend report.
+func TestStreamGridInterruptResumeByteIdentical(t *testing.T) {
+	t.Parallel()
+	base := tinySweep(KernelStates)
+	grid := campaign.Grid{
+		Base:     base.World,
+		CacheKBs: []int{128, 512},
+		BaseSeed: 1,
+	}
+
+	runGrid := func(st campaign.Store, shardDir string, interrupt bool) ([]GridPoint, []campaign.Event, error) {
+		sink, err := results.NewCSVShardSink(shardDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		jobs := StreamJobs(base, grid)
+		if interrupt {
+			// The second scenario dies mid-run, as if the process were
+			// killed after the first checkpointed: it cancels the campaign
+			// and produces nothing.
+			jobs[1].Run = func(ctx context.Context, _ map[string]any) (any, error) {
+				cancel()
+				return nil, ctx.Err()
+			}
+		}
+		var events []campaign.Event
+		res, err := campaign.Run(ctx, campaign.Config{
+			Workers: 1, Store: st, Sink: sink,
+			OnProgress: func(e campaign.Event) { events = append(events, e) },
+		}, jobs)
+		if err != nil {
+			return nil, events, err
+		}
+		pts := make([]GridPoint, len(res))
+		for i, r := range res {
+			pts[i] = r.Value.(GridPoint)
+		}
+		return pts, events, nil
+	}
+
+	// Reference: an uninterrupted run.
+	refStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	refPts, _, err := runGrid(refStore, refDir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: scenario 0 completes and checkpoints, scenario 1 is
+	// killed by the context cancel.
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runGrid(st, t.TempDir(), true); err == nil {
+		t.Fatal("interrupted grid reported success")
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("store holds %d checkpoints after interrupt (err=%v), want 1", n, err)
+	}
+
+	// Resume against the same store: zero completed scenarios re-run.
+	resumeDir := t.TempDir()
+	resumePts, events, err := runGrid(st, resumeDir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached, executed int
+	for _, e := range events {
+		if e.Cached {
+			cached++
+		} else {
+			executed++
+		}
+	}
+	if cached != 1 || executed != 1 {
+		t.Errorf("resume: %d cached / %d executed, want 1/1", cached, executed)
+	}
+
+	// The resumed run's streamed shards and grid points match the
+	// uninterrupted reference byte for byte.
+	refShards, resumeShards := readShards(t, refDir), readShards(t, resumeDir)
+	if len(refShards) != 2 || len(resumeShards) != 2 {
+		t.Fatalf("shard counts: ref=%d resume=%d, want 2", len(refShards), len(resumeShards))
+	}
+	for name, want := range refShards {
+		if got, ok := resumeShards[name]; !ok || got != want {
+			t.Errorf("shard %s differs after resume", name)
+		}
+	}
+	var refTrend, resumeTrend bytes.Buffer
+	refReports, err := BuildTrends(refPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeReports, err := BuildTrends(resumePts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrendCSV(&refTrend, refReports); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrendCSV(&resumeTrend, resumeReports); err != nil {
+		t.Fatal(err)
+	}
+	if refTrend.String() != resumeTrend.String() {
+		t.Errorf("trend CSV differs after resume:\n--- ref\n%s\n--- resume\n%s",
+			refTrend.String(), resumeTrend.String())
+	}
+}
+
+// TestStreamSweepGridEmitsRowsAndTrend checks the streaming grid's
+// contract: points carry fitted models (no buffered sweeps), every
+// scenario's rows land in the sink, and the trend report fits each
+// coefficient against cache size.
+func TestStreamSweepGridEmitsRowsAndTrend(t *testing.T) {
+	t.Parallel()
+	base := tinySweep(KernelStates)
+	grid := campaign.Grid{
+		Base:     base.World,
+		CacheKBs: []int{128, 512},
+		BaseSeed: 1,
+	}
+	sink := results.NewMemorySink()
+	pts, err := StreamSweepGrid(context.Background(), campaign.Config{Sink: sink}, base, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Model == nil || p.Kernel != KernelStates {
+			t.Errorf("%s: incomplete point %+v", p.Scenario.Key, p)
+		}
+		rows := sink.Rows(p.Scenario.Key)
+		if len(rows) == 0 {
+			t.Fatalf("%s: no rows streamed", p.Scenario.Key)
+		}
+		if _, ok := rows[0][4].Float(); rows[0][4].Name != "l2_dcm" || !ok {
+			t.Errorf("%s: unexpected row shape %v", p.Scenario.Key, rows[0])
+		}
+	}
+
+	reports, err := BuildTrends(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("%d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Kernel != KernelStates || len(r.Points) != 2 || len(r.Fits) != len(r.CoeffNames) {
+		t.Errorf("report shape: %+v", r)
+	}
+	// States fits a power law: coefficients lnA and B.
+	if len(r.CoeffNames) != 2 || r.CoeffNames[0] != "lnA" || r.CoeffNames[1] != "B" {
+		t.Errorf("coeff names = %v", r.CoeffNames)
+	}
+	var csv, txt bytes.Buffer
+	if err := WriteTrendCSV(&csv, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "kernel,cache_kb,n,coeff,value,trend_fit\n") {
+		t.Errorf("trend CSV header: %q", csv.String())
+	}
+	if err := WriteTrendReport(&txt, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "sc_proxy::compute()") || !strings.Contains(txt.String(), "lnA") {
+		t.Errorf("trend report: %q", txt.String())
+	}
+
+	// Too few cache sizes to fit a trend is a loud error.
+	if _, err := BuildTrends(pts[:1]); err == nil {
+		t.Error("single-cache trend succeeded")
+	}
+}
+
+// TestScenarioConfigMapping checks the app-level grid dimensions reach the
+// harness configs.
+func TestScenarioConfigMapping(t *testing.T) {
+	t.Parallel()
+	base := tinySweep(KernelStates)
+	sc := campaign.Scenario{
+		Key: "p2/base/c128kB/m64x32/efm/r0", World: base.World,
+		CacheKB: 128, Mesh: campaign.MeshSize{Nx: 64, Ny: 32}, Flux: "efm",
+	}
+	sw, err := scenarioSweepConfig(base, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Kernel != KernelEFM {
+		t.Errorf("flux dim did not select kernel: %s", sw.Kernel)
+	}
+	caseBase := DefaultCaseStudy()
+	cs, err := CaseScenarioConfig(caseBase, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.App.Mesh.BaseNx != 64 || cs.App.Mesh.BaseNy != 32 {
+		t.Errorf("mesh dim not applied: %+v", cs.App.Mesh)
+	}
+	if cs.App.Flux != components.EFM {
+		t.Errorf("flux dim not applied: %v", cs.App.Flux)
+	}
+
+	if _, err := scenarioSweepConfig(base, campaign.Scenario{Flux: "nonsense"}); err == nil {
+		t.Error("unknown flux accepted by sweep mapping")
+	}
+	if _, err := CaseScenarioConfig(caseBase, campaign.Scenario{Flux: "states"}); err == nil {
+		t.Error("states flux accepted by case mapping")
+	}
+
+	// Unswept dims keep the base config.
+	plain, err := CaseScenarioConfig(caseBase, campaign.Scenario{World: base.World})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.App.Mesh.BaseNx != caseBase.App.Mesh.BaseNx || plain.App.Flux != caseBase.App.Flux {
+		t.Errorf("unswept dims perturbed the config")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/results"
 	"repro/internal/tau"
 )
 
@@ -186,16 +187,39 @@ func (r *CaseStudyResult) GhostCommSeries() []GhostCommPoint {
 
 // WriteGhostCommCSV writes the Fig. 9 series.
 func (r *CaseStudyResult) WriteGhostCommCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,level,invocation,mpi_us,wall_us"); err != nil {
+	enc := results.NewCSVEncoder(w)
+	if err := enc.Header("rank", "level", "invocation", "mpi_us", "wall_us"); err != nil {
 		return err
 	}
 	for _, p := range r.GhostCommSeries() {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%g,%g\n",
-			p.Rank, p.Level, p.Invocation, p.MPIUS, p.WallUS); err != nil {
+		if err := enc.Encode(results.Row{
+			results.F("rank", p.Rank), results.F("level", p.Level),
+			results.F("invocation", p.Invocation),
+			results.F("mpi_us", p.MPIUS), results.F("wall_us", p.WallUS),
+		}); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Rows returns the case study's telemetry rows for streaming into a
+// results.Sink: the cross-rank FUNCTION SUMMARY, one row per profiled
+// timer.
+func (r *CaseStudyResult) Rows() []results.Row {
+	summary := r.MeanSummary()
+	rows := make([]results.Row, len(summary))
+	for i, row := range summary {
+		rows[i] = results.Row{
+			results.F("timer", row.Name), results.F("group", row.Group),
+			results.F("percent_time", row.PercentTime),
+			results.F("inclusive_us", row.InclusiveUS),
+			results.F("exclusive_us", row.ExclusiveUS),
+			results.F("calls", row.Calls),
+			results.F("us_per_call", row.MicrosPerCall),
+		}
+	}
+	return rows
 }
 
 // WritePGM renders the density image as a portable graymap (Fig. 1's

@@ -53,7 +53,7 @@ func sharedFixtures(t *testing.T) (*CaseStudyResult, map[Kernel]*SweepResult, ma
 		for _, k := range kernels {
 			jobs = append(jobs,
 				SweepJob("sweep/"+string(k), fastSweep(k)),
-				ModelJob("model/"+string(k), "sweep/"+string(k)))
+				ModelJob("model/"+string(k), "sweep/"+string(k), fastSweep(k)))
 		}
 		res, err := campaign.Run(context.Background(), campaign.Config{}, jobs)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/assembly"
 	"repro/internal/perfmodel"
+	"repro/internal/results"
 )
 
 // ComponentModel is the fitted performance model of one component: the
@@ -125,12 +126,17 @@ func WriteModelReport(w io.Writer, cm *ComponentModel) error {
 // WriteMeanSigmaCSV writes the Fig. 6/7/8 series: per-Q mean, sigma, and
 // the fitted models' predictions.
 func WriteMeanSigmaCSV(w io.Writer, cm *ComponentModel) error {
-	if _, err := fmt.Fprintln(w, "q,n,mean_us,sigma_us,mean_fit_us,sigma_fit_us"); err != nil {
+	enc := results.NewCSVEncoder(w)
+	if err := enc.Header("q", "n", "mean_us", "sigma_us", "mean_fit_us", "sigma_fit_us"); err != nil {
 		return err
 	}
 	for _, g := range cm.Stats {
-		if _, err := fmt.Fprintf(w, "%g,%d,%g,%g,%g,%g\n",
-			g.Q, g.N, g.Mean, g.StdDev, cm.Mean.Predict(g.Q), cm.Sigma.Predict(g.Q)); err != nil {
+		if err := enc.Encode(results.Row{
+			results.F("q", g.Q), results.F("n", g.N),
+			results.F("mean_us", g.Mean), results.F("sigma_us", g.StdDev),
+			results.F("mean_fit_us", cm.Mean.Predict(g.Q)),
+			results.F("sigma_fit_us", cm.Sigma.Predict(g.Q)),
+		}); err != nil {
 			return err
 		}
 	}

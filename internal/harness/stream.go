@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"context"
+
+	"repro/internal/campaign"
+	"repro/internal/results"
+)
+
+// This file is the bounded-memory grid path: where RunSweepGrid buffers
+// every scenario's whole SweepResult, StreamSweepGrid emits each sweep's
+// telemetry rows into the campaign sink and keeps only a GridPoint — the
+// scenario coordinates and the fitted model — per scenario. A
+// thousand-scenario grid therefore streams through a CSV-shard sink with
+// memory bounded by the scenarios in flight, not by the grid size.
+
+// GridPoint is one scenario's distilled outcome in a streaming grid run:
+// the coordinates, the kernel that was measured (after the flux dimension
+// is applied) and the fitted Eq. 1/2 model. The raw sweep is emitted as
+// rows and dropped.
+type GridPoint struct {
+	Scenario campaign.Scenario
+	Kernel   Kernel
+	Model    *ComponentModel
+}
+
+// gridCheckpoint is a stream job's stored payload: the point plus the rows
+// it emitted, so a resumed campaign replays the exact same stream.
+type gridCheckpoint struct {
+	Point GridPoint
+	Rows  []results.Row
+}
+
+// StreamJob wraps one grid scenario as a bounded-memory campaign job: run
+// the sweep, emit its rows to the campaign sink, fit the model, return
+// only the GridPoint.
+func StreamJob(base SweepConfig, sc campaign.Scenario) campaign.Job {
+	// rows hands the emitted rows from Run to Encode (the campaign calls
+	// them sequentially on the same worker) without making them part of
+	// the job's value, which must stay small.
+	var rows []results.Row
+	return campaign.Job{
+		Key:  sc.Key,
+		Hash: jobHash("gridpoint", base, sc),
+		Encode: func(v any) ([]byte, error) {
+			data, err := encodeGob(gridCheckpoint{Point: v.(GridPoint), Rows: rows})
+			rows = nil
+			return data, err
+		},
+		Decode: func(ctx context.Context, data []byte) (any, error) {
+			ck, err := decodeGob[gridCheckpoint](data)
+			if err != nil {
+				return nil, err
+			}
+			return ck.Point, replayRows(ctx, sc.Key, ck.Rows)
+		},
+		Run: func(ctx context.Context, _ map[string]any) (any, error) {
+			cfg, err := scenarioSweepConfig(base, sc)
+			if err != nil {
+				return nil, err
+			}
+			sw, err := RunSweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = sw.Rows()
+			if err := emitRows(ctx, sc.Key, rows); err != nil {
+				return nil, err
+			}
+			cm, err := FitModels(sw)
+			if err != nil {
+				return nil, err
+			}
+			return GridPoint{Scenario: sc, Kernel: cfg.Kernel, Model: cm}, nil
+		},
+	}
+}
+
+// StreamJobs expands a grid into one StreamJob per scenario.
+func StreamJobs(base SweepConfig, g campaign.Grid) []campaign.Job {
+	scs := g.Scenarios()
+	jobs := make([]campaign.Job, len(scs))
+	for i, sc := range scs {
+		jobs[i] = StreamJob(base, sc)
+	}
+	return jobs
+}
+
+// StreamSweepGrid runs a scenario grid with streaming results: each
+// scenario's telemetry rows go to cc.Sink (when set) and only the fitted
+// GridPoints come back, in scenario order. With cc.Store set the grid is
+// checkpointed per scenario: a resumed run re-executes only unfinished
+// scenarios and replays the finished ones' rows from the store, so the
+// sink output is identical to an uninterrupted run.
+func StreamSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g campaign.Grid) ([]GridPoint, error) {
+	res, err := campaign.Run(ctx, cc, StreamJobs(base, g))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GridPoint, len(res))
+	for i, r := range res {
+		out[i] = r.Value.(GridPoint)
+	}
+	return out, nil
+}

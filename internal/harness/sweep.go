@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/euler"
 	"repro/internal/mpi"
+	"repro/internal/results"
 )
 
 // Kernel names the three measured components of Section 5.
@@ -334,13 +335,32 @@ func (s *SweepResult) StridedRatios() []RatioPoint {
 	return out
 }
 
+// Rows returns the sweep's telemetry rows for streaming into a
+// results.Sink: one row per recorded invocation, carrying the Fig. 4
+// scatter columns plus the invocation's PAPI_L2_DCM delta.
+func (s *SweepResult) Rows() []results.Row {
+	rows := make([]results.Row, len(s.Points))
+	for i, p := range s.Points {
+		rows[i] = results.Row{
+			results.F("rank", p.Rank), results.F("q", p.Q),
+			results.F("mode", p.Mode), results.F("wall_us", p.WallUS),
+			results.F("l2_dcm", p.Misses),
+		}
+	}
+	return rows
+}
+
 // WriteScatterCSV writes the Fig. 4 scatter.
 func (s *SweepResult) WriteScatterCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,q,mode,wall_us"); err != nil {
+	enc := results.NewCSVEncoder(w)
+	if err := enc.Header("rank", "q", "mode", "wall_us"); err != nil {
 		return err
 	}
 	for _, p := range s.Points {
-		if _, err := fmt.Fprintf(w, "%d,%d,%s,%g\n", p.Rank, p.Q, p.Mode, p.WallUS); err != nil {
+		if err := enc.Encode(results.Row{
+			results.F("rank", p.Rank), results.F("q", p.Q),
+			results.F("mode", p.Mode), results.F("wall_us", p.WallUS),
+		}); err != nil {
 			return err
 		}
 	}
@@ -349,11 +369,15 @@ func (s *SweepResult) WriteScatterCSV(w io.Writer) error {
 
 // WriteRatiosCSV writes the Fig. 5 series.
 func (s *SweepResult) WriteRatiosCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,q,strided_over_sequential"); err != nil {
+	enc := results.NewCSVEncoder(w)
+	if err := enc.Header("rank", "q", "strided_over_sequential"); err != nil {
 		return err
 	}
 	for _, p := range s.StridedRatios() {
-		if _, err := fmt.Fprintf(w, "%d,%d,%g\n", p.Rank, p.Q, p.Ratio); err != nil {
+		if err := enc.Encode(results.Row{
+			results.F("rank", p.Rank), results.F("q", p.Q),
+			results.F("strided_over_sequential", p.Ratio),
+		}); err != nil {
 			return err
 		}
 	}

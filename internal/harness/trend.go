@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/perfmodel"
+	"repro/internal/results"
+)
+
+// This file is the cross-scenario analysis the paper's Section 6 sketches:
+// "Ideally, the coefficients should be parameterized by processor speed
+// and a cache model." A streaming grid run produces one fitted model per
+// (cache size, replication); the trend report averages the model
+// coefficients per cache size and fits each coefficient against the cache
+// size itself, showing the functional form staying put while the
+// coefficients move — and giving a first-order predictor for machines the
+// sweep never ran on.
+
+// TrendPoint is one cache size's averaged model coefficients.
+type TrendPoint struct {
+	// CacheKB is the scenario cache capacity.
+	CacheKB int
+	// N counts the grid points (replications and other collapsed
+	// dimensions) averaged into the coefficients.
+	N int
+	// Coeffs holds the mean coefficient values, aligned with the report's
+	// CoeffNames.
+	Coeffs []float64
+}
+
+// TrendFit is one coefficient's fitted trend against cache size.
+type TrendFit struct {
+	// Coeff names the coefficient ("lnA", "B", "c0", "c1", ...).
+	Coeff string
+	// Model predicts the coefficient from the cache size in kB. It is the
+	// AIC-best of a linear and (when the values admit one) a power-law
+	// candidate.
+	Model perfmodel.Model
+	// R2 is the fit's coefficient of determination over the trend points.
+	R2 float64
+}
+
+// TrendReport is one kernel's coefficient-vs-cache-size analysis.
+type TrendReport struct {
+	// Kernel is the measured component.
+	Kernel Kernel
+	// CoeffNames labels the fitted model's coefficients.
+	CoeffNames []string
+	// Points holds the per-cache-size averaged coefficients, ascending.
+	Points []TrendPoint
+	// Fits holds one trend fit per coefficient, aligned with CoeffNames.
+	Fits []TrendFit
+}
+
+// BuildTrends groups grid points by kernel and fits every mean-model
+// coefficient against the cache-size dimension. Each kernel needs at least
+// two distinct cache sizes; replications (and any other collapsed
+// dimensions) are averaged per cache size first, mirroring the paper's
+// group-then-fit regression style.
+func BuildTrends(points []GridPoint) ([]*TrendReport, error) {
+	byKernel := map[Kernel][]GridPoint{}
+	var order []Kernel
+	for _, p := range points {
+		if _, seen := byKernel[p.Kernel]; !seen {
+			order = append(order, p.Kernel)
+		}
+		byKernel[p.Kernel] = append(byKernel[p.Kernel], p)
+	}
+	reports := make([]*TrendReport, 0, len(order))
+	for _, k := range order {
+		r, err := buildTrend(k, byKernel[k])
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// buildTrend is BuildTrends for one kernel's points.
+func buildTrend(kernel Kernel, points []GridPoint) (*TrendReport, error) {
+	report := &TrendReport{Kernel: kernel}
+	type acc struct {
+		n    int
+		sums []float64
+	}
+	byCache := map[int]*acc{}
+	for _, p := range points {
+		if p.Model == nil {
+			return nil, fmt.Errorf("harness: trend: grid point %q has no model", p.Scenario.Key)
+		}
+		names, values := perfmodel.Coefficients(p.Model.Mean)
+		if len(names) == 0 {
+			return nil, fmt.Errorf("harness: trend: %s model %T has no coefficients", kernel, p.Model.Mean)
+		}
+		if report.CoeffNames == nil {
+			report.CoeffNames = names
+		}
+		if len(values) != len(report.CoeffNames) {
+			return nil, fmt.Errorf("harness: trend: %s grid mixes model forms (%d vs %d coefficients)",
+				kernel, len(values), len(report.CoeffNames))
+		}
+		a := byCache[p.Scenario.CacheKB]
+		if a == nil {
+			a = &acc{sums: make([]float64, len(values))}
+			byCache[p.Scenario.CacheKB] = a
+		}
+		a.n++
+		for i, v := range values {
+			a.sums[i] += v
+		}
+	}
+	if len(byCache) < 2 {
+		return nil, fmt.Errorf("harness: trend: %s grid has %d cache size(s), need >= 2", kernel, len(byCache))
+	}
+	caches := make([]int, 0, len(byCache))
+	for kb := range byCache {
+		caches = append(caches, kb)
+	}
+	sort.Ints(caches)
+	for _, kb := range caches {
+		a := byCache[kb]
+		coeffs := make([]float64, len(a.sums))
+		for i, s := range a.sums {
+			coeffs[i] = s / float64(a.n)
+		}
+		report.Points = append(report.Points, TrendPoint{CacheKB: kb, N: a.n, Coeffs: coeffs})
+	}
+
+	x := make([]float64, len(report.Points))
+	for i, p := range report.Points {
+		x[i] = float64(p.CacheKB)
+	}
+	for ci, name := range report.CoeffNames {
+		y := make([]float64, len(report.Points))
+		for i, p := range report.Points {
+			y[i] = p.Coeffs[ci]
+		}
+		var cands []perfmodel.Model
+		if lin, err := perfmodel.LinFit(x, y); err == nil {
+			cands = append(cands, lin)
+		}
+		if pl, err := perfmodel.PowerLawFit(x, y); err == nil {
+			cands = append(cands, pl)
+		}
+		best := perfmodel.SelectBest(cands, x, y)
+		if best == nil {
+			return nil, fmt.Errorf("harness: trend: no fit for %s coefficient %s", kernel, name)
+		}
+		report.Fits = append(report.Fits, TrendFit{
+			Coeff: name, Model: best, R2: perfmodel.R2(best, x, y),
+		})
+	}
+	return report, nil
+}
+
+// trendModelString renders a trend fit with C (cache kB) as the variable —
+// the underlying perfmodel models print their parameter as Q.
+func trendModelString(m perfmodel.Model) string {
+	return strings.ReplaceAll(m.String(), "Q", "C")
+}
+
+// WriteTrendCSV writes the reports as one long-format CSV: one row per
+// (kernel, cache size, coefficient) with the averaged value and the trend
+// fit's prediction.
+func WriteTrendCSV(w io.Writer, reports []*TrendReport) error {
+	enc := results.NewCSVEncoder(w)
+	if err := enc.Header("kernel", "cache_kb", "n", "coeff", "value", "trend_fit"); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		for _, p := range r.Points {
+			for ci, name := range r.CoeffNames {
+				if err := enc.Encode(results.Row{
+					results.F("kernel", string(r.Kernel)),
+					results.F("cache_kb", p.CacheKB),
+					results.F("n", p.N),
+					results.F("coeff", name),
+					results.F("value", p.Coeffs[ci]),
+					results.F("trend_fit", r.Fits[ci].Model.Predict(float64(p.CacheKB))),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTrendReport prints the human-readable trend analysis: per kernel,
+// the fitted coefficient-vs-cache-size models and the averaged points they
+// came from.
+func WriteTrendReport(w io.Writer, reports []*TrendReport) error {
+	for ri, r := range reports {
+		if ri > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "trend for %s: mean-model coefficients vs cache size (C in kB)\n",
+			r.Kernel.RecordName()); err != nil {
+			return err
+		}
+		for _, f := range r.Fits {
+			fmt.Fprintf(w, "  %-4s(C) = %-40s [R2=%.4f]\n", f.Coeff, trendModelString(f.Model), f.R2)
+		}
+		fmt.Fprintf(w, "  %8s %4s", "C_kB", "n")
+		for _, name := range r.CoeffNames {
+			fmt.Fprintf(w, " %14s", name)
+		}
+		fmt.Fprintln(w)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, "  %8d %4d", p.CacheKB, p.N)
+			for _, c := range p.Coeffs {
+				fmt.Fprintf(w, " %14.6g", c)
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -267,6 +267,28 @@ func SelectBest(cands []Model, x, y []float64) Model {
 	return best
 }
 
+// Coefficients names and extracts a fitted model's parameters, the input
+// to cross-scenario trend analysis (refitting each coefficient against a
+// machine parameter such as cache size — the paper's Section 6
+// "coefficients parameterized by a cache model"). PowerLaw yields
+// ("lnA", "B") and Poly ("c0", "c1", ...); unknown model kinds yield
+// nothing.
+func Coefficients(m Model) (names []string, values []float64) {
+	switch v := m.(type) {
+	case PowerLaw:
+		return []string{"lnA", "B"}, []float64{v.LnA, v.B}
+	case Poly:
+		names = make([]string, len(v.Coeffs))
+		values = make([]float64, len(v.Coeffs))
+		for i, c := range v.Coeffs {
+			names[i] = fmt.Sprintf("c%d", i)
+			values[i] = c
+		}
+		return names, values
+	}
+	return nil, nil
+}
+
 // GroupStat is the aggregate of all samples sharing one parameter value.
 type GroupStat struct {
 	Q      float64

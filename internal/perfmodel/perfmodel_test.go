@@ -159,6 +159,21 @@ func TestSelectBestPrefersParsimony(t *testing.T) {
 	}
 }
 
+func TestCoefficients(t *testing.T) {
+	t.Parallel()
+	names, vals := Coefficients(PowerLaw{LnA: -3.68, B: 1.19})
+	if len(names) != 2 || names[0] != "lnA" || names[1] != "B" || vals[0] != -3.68 || vals[1] != 1.19 {
+		t.Errorf("power law coefficients: %v %v", names, vals)
+	}
+	names, vals = Coefficients(Poly{Coeffs: []float64{-963, 0.315}})
+	if len(names) != 2 || names[0] != "c0" || names[1] != "c1" || vals[0] != -963 || vals[1] != 0.315 {
+		t.Errorf("poly coefficients: %v %v", names, vals)
+	}
+	if names, vals = Coefficients(nil); names != nil || vals != nil {
+		t.Errorf("nil model yielded coefficients: %v %v", names, vals)
+	}
+}
+
 func TestGroupStats(t *testing.T) {
 	x := []float64{100, 100, 100, 200, 200}
 	y := []float64{10, 20, 30, 5, 15}

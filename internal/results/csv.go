@@ -1,0 +1,274 @@
+package results
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CSVEncoder writes rows as CSV: a header line derived from the first
+// row's field names, then one line per row. It reproduces the byte format
+// of the repository's original hand-rolled writers (ints as %d, floats as
+// %g), so regenerated figure files stay identical. Values are written
+// verbatim — the encoder targets the numeric telemetry this repository
+// emits and does not quote separators.
+type CSVEncoder struct {
+	w      io.Writer
+	header bool
+	sb     strings.Builder
+}
+
+// NewCSVEncoder returns an encoder writing to w.
+func NewCSVEncoder(w io.Writer) *CSVEncoder {
+	return &CSVEncoder{w: w}
+}
+
+// Header writes the header line immediately. Normally the header is
+// derived from the first encoded row; writers that must produce a header
+// even for zero rows call this first. Calling it after output has begun is
+// a no-op.
+func (e *CSVEncoder) Header(names ...string) error {
+	if e.header {
+		return nil
+	}
+	e.header = true
+	e.sb.Reset()
+	for i, n := range names {
+		if i > 0 {
+			e.sb.WriteByte(',')
+		}
+		e.sb.WriteString(n)
+	}
+	e.sb.WriteByte('\n')
+	_, err := io.WriteString(e.w, e.sb.String())
+	return err
+}
+
+// Encode writes one row (preceded by the header if this is the first).
+// Every row should carry the same field names in the same order; the
+// encoder trusts the emitter and does not re-check.
+func (e *CSVEncoder) Encode(row Row) error {
+	e.sb.Reset()
+	if !e.header {
+		for i, f := range row {
+			if i > 0 {
+				e.sb.WriteByte(',')
+			}
+			e.sb.WriteString(f.Name)
+		}
+		e.sb.WriteByte('\n')
+		e.header = true
+	}
+	for i, f := range row {
+		if i > 0 {
+			e.sb.WriteByte(',')
+		}
+		e.sb.WriteString(formatValue(f.Value))
+	}
+	e.sb.WriteByte('\n')
+	_, err := io.WriteString(e.w, e.sb.String())
+	return err
+}
+
+// shard is one key's CSV file, open or evicted.
+type shard struct {
+	path string
+	// mu serializes writes and eviction on this shard, so encode I/O does
+	// not happen under the sink-wide lock. Lock order: CSVShardSink.mu
+	// before shard.mu, always.
+	mu sync.Mutex
+	// created records that the file exists on disk (first open truncates,
+	// later reopens append).
+	created bool
+	// headerDone carries the encoder's header state across evictions.
+	headerDone bool
+	// f, bw, enc are non-nil only while the shard is open.
+	f   *os.File
+	bw  *bufio.Writer
+	enc *CSVEncoder
+}
+
+// DefaultMaxOpenShards bounds how many shard files a CSVShardSink keeps
+// open at once. Shards beyond the bound are flushed, closed (oldest
+// first) and transparently reopened in append mode on their next row, so
+// a grid may have arbitrarily many keys without exhausting file
+// descriptors.
+const DefaultMaxOpenShards = 128
+
+// CSVShardSink writes one CSV shard file per key under a directory.
+// Shards are created lazily on the key's first row (truncating any
+// previous file of the same name, so re-running a campaign rewrites its
+// shards from scratch) and buffered; at most DefaultMaxOpenShards files
+// are open at a time, so both memory and file descriptors stay bounded by
+// the keys emitting concurrently, not by the grid size or row count. Emit
+// is safe for concurrent use; rows within one key keep their emission
+// order.
+type CSVShardSink struct {
+	dir     string
+	maxOpen int
+	mu      sync.Mutex
+	shards  map[string]*shard
+	open    []*shard // open shards, oldest first
+	closed  bool
+}
+
+// NewCSVShardSink creates the directory (if needed) and returns the sink.
+func NewCSVShardSink(dir string) (*CSVShardSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: shard sink: %w", err)
+	}
+	return &CSVShardSink{dir: dir, maxOpen: DefaultMaxOpenShards, shards: map[string]*shard{}}, nil
+}
+
+// Dir returns the sink's shard directory.
+func (s *CSVShardSink) Dir() string { return s.dir }
+
+// ShardPath returns the file a key's rows are written to. Keys map to file
+// names by replacing path-hostile characters; when that sanitization loses
+// information an FNV suffix keeps distinct keys in distinct files.
+func (s *CSVShardSink) ShardPath(key string) string {
+	return filepath.Join(s.dir, shardFile(key))
+}
+
+// shardFile maps a key to its shard file name.
+func shardFile(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, key)
+	if clean != key {
+		h := fnv.New32a()
+		io.WriteString(h, key)
+		clean = fmt.Sprintf("%s-%08x", clean, h.Sum32())
+	}
+	return clean + ".csv"
+}
+
+// Emit implements Sink. The sink-wide lock covers only the shard lookup
+// (and the rare open/evict); the row's encode and buffered write happen
+// under the shard's own lock, so jobs streaming to different keys write
+// concurrently.
+func (s *CSVShardSink) Emit(key string, row Row) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("results: emit %q on closed shard sink", key)
+	}
+	sh := s.shards[key]
+	if sh == nil {
+		sh = &shard{path: s.ShardPath(key)}
+		s.shards[key] = sh
+	}
+	if sh.f == nil {
+		if err := s.openLocked(sh); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("results: shard for %q: %w", key, err)
+		}
+	}
+	// Taking sh.mu while still holding s.mu guarantees the shard cannot
+	// be evicted (eviction needs s.mu) before the write claims it.
+	sh.mu.Lock()
+	s.mu.Unlock()
+	defer sh.mu.Unlock()
+	return sh.enc.Encode(row)
+}
+
+// openLocked opens (or reopens in append mode) a shard, evicting the
+// oldest open shards while the bound is exceeded. Caller holds s.mu.
+func (s *CSVShardSink) openLocked(sh *shard) error {
+	for len(s.open) >= s.maxOpen {
+		if err := s.evictLocked(s.open[0]); err != nil {
+			return err
+		}
+	}
+	var f *os.File
+	var err error
+	if sh.created {
+		f, err = os.OpenFile(sh.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	} else {
+		f, err = os.Create(sh.path)
+	}
+	if err != nil {
+		return err
+	}
+	sh.created = true
+	sh.f = f
+	sh.bw = bufio.NewWriter(f)
+	sh.enc = NewCSVEncoder(sh.bw)
+	sh.enc.header = sh.headerDone
+	s.open = append(s.open, sh)
+	return nil
+}
+
+// evictLocked flushes and closes one open shard, remembering its encoder
+// state for a later append reopen. Caller holds s.mu; the shard's own
+// lock is taken to wait out any in-flight write.
+func (s *CSVShardSink) evictLocked(sh *shard) error {
+	for i, o := range s.open {
+		if o == sh {
+			s.open = append(s.open[:i], s.open[i+1:]...)
+			break
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.bw.Flush()
+	if cerr := sh.f.Close(); err == nil {
+		err = cerr
+	}
+	sh.headerDone = sh.enc.header
+	sh.f, sh.bw, sh.enc = nil, nil, nil
+	return err
+}
+
+// Flush implements Sink: every open shard's buffer is forced to disk.
+func (s *CSVShardSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, sh := range s.open {
+		sh.mu.Lock()
+		if err := sh.bw.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Close implements Sink: flushes and closes every open shard file.
+func (s *CSVShardSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var firstErr error
+	for len(s.open) > 0 {
+		if err := s.evictLocked(s.open[0]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Keys returns every key the sink has seen, sorted.
+func (s *CSVShardSink) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.shards))
+	for k := range s.shards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,347 @@
+package results
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type dirStringer int
+
+func (dirStringer) String() string { return "X" }
+
+func TestCSVEncoderByteFormat(t *testing.T) {
+	// The encoder must reproduce the original hand-rolled writers' bytes:
+	// ints via %d, floats via %g, strings and Stringers verbatim.
+	var sb strings.Builder
+	enc := NewCSVEncoder(&sb)
+	rows := []Row{
+		{F("rank", 0), F("q", 1000), F("mode", dirStringer(0)), F("wall_us", 123.456)},
+		{F("rank", 2), F("q", 150000), F("mode", "Y"), F("wall_us", 1.5e-07)},
+	}
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := "rank,q,mode,wall_us\n0,1000,X,123.456\n2,150000,Y,1.5e-07\n"
+	if sb.String() != want {
+		t.Errorf("encoded = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCSVEncoderExplicitHeader(t *testing.T) {
+	var sb strings.Builder
+	enc := NewCSVEncoder(&sb)
+	if err := enc.Header("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	// A second Header and the first row's implicit header are no-ops.
+	if err := enc.Header("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(Row{F("a", 1), F("b", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if want := "a,b\n1,2\n"; sb.String() != want {
+		t.Errorf("encoded = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestMemorySinkConcurrentPerKeyOrder(t *testing.T) {
+	s := NewMemorySink()
+	const keys, rows = 8, 200
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			key := fmt.Sprintf("job/%d", k)
+			for i := 0; i < rows; i++ {
+				if err := s.Emit(key, Row{F("i", i), F("k", k)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if got := len(s.Keys()); got != keys {
+		t.Fatalf("keys = %d, want %d", got, keys)
+	}
+	for _, key := range s.Keys() {
+		got := s.Rows(key)
+		if len(got) != rows {
+			t.Fatalf("%s: rows = %d, want %d", key, len(got), rows)
+		}
+		for i, r := range got {
+			if r[0].Value.(int) != i {
+				t.Fatalf("%s: row %d out of order: %v", key, i, r)
+			}
+		}
+	}
+}
+
+func TestAggSinkMatchesDirectStatistics(t *testing.T) {
+	s := NewAggSink()
+	vals := []float64{3, 1, 4, 1, 5, 9, 2.5, 6}
+	for i, v := range vals {
+		if err := s.Emit("k", Row{F("wall_us", v), F("rep", i), F("label", "skip-me")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := s.Stat("k", "wall_us")
+	if !ok {
+		t.Fatal("no wall_us stat")
+	}
+	var sum, sumSq float64
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	mean := sum / float64(len(vals))
+	sd := math.Sqrt(sumSq/float64(len(vals)) - mean*mean)
+	if st.N != len(vals) || st.Min != mn || st.Max != mx {
+		t.Errorf("stat = %+v", st)
+	}
+	if math.Abs(st.Mean-mean) > 1e-12 || math.Abs(st.StdDev-sd) > 1e-12 {
+		t.Errorf("mean/sd = %g/%g, want %g/%g", st.Mean, st.StdDev, mean, sd)
+	}
+	// Non-numeric fields are ignored; numeric ones keep first-seen order.
+	if fields := s.Fields("k"); len(fields) != 2 || fields[0] != "wall_us" || fields[1] != "rep" {
+		t.Errorf("fields = %v", fields)
+	}
+	if _, ok := s.Stat("k", "label"); ok {
+		t.Error("string field aggregated")
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "key,field,n,mean,stddev,min,max\n") {
+		t.Errorf("agg CSV header wrong: %q", sb.String())
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := NewMemorySink(), NewAggSink()
+	tee := NewTee(a, b)
+	if err := tee.Emit("k", Row{F("v", 2.0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows("k")) != 1 {
+		t.Error("memory sink missed the row")
+	}
+	if st, ok := b.Stat("k", "v"); !ok || st.N != 1 || st.Mean != 2 {
+		t.Errorf("agg sink missed the row: %+v", st)
+	}
+}
+
+func TestCSVShardSinkConcurrentMatchesSerial(t *testing.T) {
+	emit := func(s *CSVShardSink, parallel bool) {
+		t.Helper()
+		const keys, rows = 6, 50
+		var wg sync.WaitGroup
+		for k := 0; k < keys; k++ {
+			job := func(k int) {
+				key := fmt.Sprintf("p%d/eth/c512kB/r0", k)
+				for i := 0; i < rows; i++ {
+					if err := s.Emit(key, Row{F("i", i), F("v", float64(k)+0.5)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			if parallel {
+				wg.Add(1)
+				go func(k int) { defer wg.Done(); job(k) }(k)
+			} else {
+				job(k)
+			}
+		}
+		wg.Wait()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialDir, parDir := t.TempDir(), t.TempDir()
+	serial, err := NewCSVShardSink(serialDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(serial, false)
+	par, err := NewCSVShardSink(parDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(par, true)
+
+	for _, key := range serial.Keys() {
+		want, err := os.ReadFile(serial.ShardPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(par.ShardPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: concurrent shard differs from serial", key)
+		}
+		if !strings.HasPrefix(string(want), "i,v\n0,") {
+			t.Errorf("%s: unexpected shard content %q", key, want[:20])
+		}
+	}
+}
+
+func TestShardFileNamesDistinctAfterSanitization(t *testing.T) {
+	// "p3/eth" and "p3_eth" sanitize to the same base name; the FNV suffix
+	// must keep their shards apart.
+	a, b := shardFile("p3/eth"), shardFile("p3_eth")
+	if a == b {
+		t.Errorf("colliding shard files %q", a)
+	}
+	if strings.ContainsAny(a, "/\\") {
+		t.Errorf("shard file %q not sanitized", a)
+	}
+	if got := shardFile("plain-key_1.0"); got != "plain-key_1.0.csv" {
+		t.Errorf("clean key renamed to %q", got)
+	}
+}
+
+func TestCSVShardSinkRejectsEmitAfterClose(t *testing.T) {
+	s, err := NewCSVShardSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit("k", Row{F("v", 1)}); err == nil {
+		t.Error("emit after close succeeded")
+	}
+}
+
+func TestDiscardSink(t *testing.T) {
+	if err := Discard.Emit("k", Row{F("v", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Discard.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Discard.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardEvictionReopensInAppendMode(t *testing.T) {
+	// With a tiny open-file bound, interleaved keys force shards to be
+	// evicted and reopened; every shard must still hold all its rows in
+	// order under a single header.
+	s, err := NewCSVShardSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.maxOpen = 2
+	const keys, rounds = 5, 4
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < keys; k++ {
+			if err := s.Emit(fmt.Sprintf("key%d", k), Row{F("round", r), F("k", k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(s.open) > 2 {
+		t.Fatalf("%d shards open, bound is 2", len(s.open))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		data, err := os.ReadFile(s.ShardPath(fmt.Sprintf("key%d", k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "round,k\n"
+		for r := 0; r < rounds; r++ {
+			want += fmt.Sprintf("%d,%d\n", r, k)
+		}
+		if string(data) != want {
+			t.Errorf("key%d shard = %q, want %q", k, data, want)
+		}
+	}
+}
+
+func TestThousandScenarioGridStreams(t *testing.T) {
+	// The acceptance shape for the streaming subsystem: a 1000-scenario
+	// grid's keys stream through a shard sink, one file per scenario, with
+	// nothing buffered in the sink itself.
+	s, err := NewCSVShardSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scenarios = 1000
+	for i := 0; i < scenarios; i++ {
+		key := fmt.Sprintf("p3/eth/c%dkB/r%d", 128+(i%8)*64, i)
+		for r := 0; r < 3; r++ {
+			if err := s.Emit(key, Row{F("q", 1000*r), F("wall_us", float64(i)+0.25)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := len(s.Keys()); got != scenarios {
+		t.Fatalf("%d shards, want %d", got, scenarios)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.ShardPath("p3/eth/c128kB/r0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "q,wall_us\n0,0.25\n1000,0.25\n2000,0.25\n"; string(data) != want {
+		t.Errorf("shard content = %q, want %q", data, want)
+	}
+}
+
+// BenchmarkCSVShardSink measures sink throughput: rows/sec streamed into a
+// handful of shard files from one goroutine (the per-job emission
+// pattern).
+func BenchmarkCSVShardSink(b *testing.B) {
+	dir := b.TempDir()
+	s, err := NewCSVShardSink(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p3/eth/c%dkB/r0", 128<<i)
+	}
+	row := Row{F("rank", 1), F("q", 52345), F("mode", "Y"), F("wall_us", 12345.678), F("l2_dcm", 9876.0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Emit(keys[i%len(keys)], row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	_ = filepath.Join(dir, "flushed")
+}

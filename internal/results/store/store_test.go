@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("sweep result bytes \x00\x01\x02")
+	if err := s.Put("sweep/states", "hash1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("sweep/states", "hash1")
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload mismatch: %q", got)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("len = %d, %v", n, err)
+	}
+}
+
+func TestGetMissesAreNotErrors(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("never", "stored"); ok || err != nil {
+		t.Errorf("miss: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDistinctIdentitiesDistinctSlots(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job", "hashA", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job", "hashB", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job2", "hashA", []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		key, hash, want string
+	}{
+		{"job", "hashA", "a"}, {"job", "hashB", "b"}, {"job2", "hashA", "c"},
+	} {
+		got, ok, err := s.Get(tc.key, tc.hash)
+		if err != nil || !ok || string(got) != tc.want {
+			t.Errorf("get(%s,%s) = %q ok=%v err=%v", tc.key, tc.hash, got, ok, err)
+		}
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", "h", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", "h", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := s.Get("k", "h")
+	if string(got) != "new" {
+		t.Errorf("got %q", got)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Errorf("len = %d after overwrite", n)
+	}
+}
+
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", "h", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".put-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+}
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	type cfg struct {
+		Procs int
+		Seed  int64
+	}
+	a := Hash("v1", "sweep", cfg{3, 1})
+	b := Hash("v1", "sweep", cfg{3, 1})
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == Hash("v1", "sweep", cfg{3, 2}) {
+		t.Error("hash ignores config changes")
+	}
+	if a == Hash("v2", "sweep", cfg{3, 1}) {
+		t.Error("hash ignores version salt")
+	}
+	if a == Hash("v1", "case", cfg{3, 1}) {
+		t.Error("hash ignores job kind")
+	}
+	if len(a) != 64 {
+		t.Errorf("hash length %d", len(a))
+	}
+}

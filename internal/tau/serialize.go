@@ -1,0 +1,100 @@
+package tau
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// This file gives Profile a serialized form so finished per-rank profiles
+// can travel through the campaign checkpoint store: a run's measurement
+// outcome (timer tallies, event moments, metric names, group switches) is
+// captured exactly, while the live parts — the time source, the metric
+// source callbacks, the running-timer stack — are not, since a
+// checkpointed profile exists only to be read. Encoding a profile with
+// timers still running is an error; a decoded profile supports every
+// read-side method (Timers, Summary, Lookup, Events, ...) but must not be
+// Started again.
+
+// profileWire is Profile's serialized form.
+type profileWire struct {
+	MetricNames []string
+	Timers      []timerWire
+	Events      []eventWire
+	Disabled    []string
+}
+
+type timerWire struct {
+	Name, Group string
+	Calls       uint64
+	Incl, Excl  []float64
+}
+
+type eventWire struct {
+	Name                 string
+	Count                uint64
+	Sum, SumSq, Min, Max float64
+}
+
+// GobEncode implements gob.GobEncoder: the profile's final measurements in
+// registration order.
+func (p *Profile) GobEncode() ([]byte, error) {
+	if len(p.stack) != 0 {
+		return nil, fmt.Errorf("tau: cannot encode profile with %d running timers", len(p.stack))
+	}
+	wire := profileWire{MetricNames: p.MetricNames()}
+	for _, t := range p.order {
+		wire.Timers = append(wire.Timers, timerWire{
+			Name: t.name, Group: t.group, Calls: t.calls,
+			Incl: t.incl, Excl: t.excl,
+		})
+	}
+	for _, e := range p.eventOrder {
+		wire.Events = append(wire.Events, eventWire{
+			Name: e.name, Count: e.count,
+			Sum: e.sum, SumSq: e.sumSq, Min: e.min, Max: e.max,
+		})
+	}
+	for g, off := range p.disabled {
+		if off {
+			wire.Disabled = append(wire.Disabled, g)
+		}
+	}
+	sort.Strings(wire.Disabled)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, rebuilding a read-only profile:
+// timer and event identities, orders and tallies round-trip exactly; the
+// time and metric sources stay nil.
+func (p *Profile) GobDecode(data []byte) error {
+	var wire profileWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return err
+	}
+	*p = Profile{
+		metricNames: wire.MetricNames,
+		timers:      make(map[string]*Timer, len(wire.Timers)),
+		events:      make(map[string]*Event, len(wire.Events)),
+		disabled:    make(map[string]bool, len(wire.Disabled)),
+	}
+	for _, tw := range wire.Timers {
+		t := &Timer{name: tw.Name, group: tw.Group, calls: tw.Calls, incl: tw.Incl, excl: tw.Excl}
+		p.timers[t.name] = t
+		p.order = append(p.order, t)
+	}
+	for _, ew := range wire.Events {
+		e := &Event{name: ew.Name, count: ew.Count, sum: ew.Sum, sumSq: ew.SumSq, min: ew.Min, max: ew.Max}
+		p.events[e.name] = e
+		p.eventOrder = append(p.eventOrder, e)
+	}
+	for _, g := range wire.Disabled {
+		p.disabled[g] = true
+	}
+	return nil
+}

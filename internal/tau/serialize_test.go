@@ -1,0 +1,85 @@
+package tau
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// roundTrip gob-encodes and re-decodes a profile.
+func roundTrip(t *testing.T, p *Profile) *Profile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	out := &Profile{}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestProfileGobRoundTripPreservesSummary(t *testing.T) {
+	p, c := newProfile()
+	p.Start("main()", "APP")
+	c.tick(1000)
+	p.Start("MPI_Send()", "MPI")
+	c.tick(250)
+	p.Stop("MPI_Send()")
+	c.tick(10)
+	p.Stop("main()")
+	p.TriggerEvent("Message size sent", 128)
+	p.TriggerEvent("Message size sent", 512)
+	p.SetGroupEnabled("POST", false)
+
+	q := roundTrip(t, p)
+
+	var want, got strings.Builder
+	if err := p.WriteProfile(&want, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.WriteProfile(&got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Errorf("profile dump drifted through gob:\n--- want\n%s\n--- got\n%s", want.String(), got.String())
+	}
+	if q.Lookup("MPI_Send()") == nil || q.Lookup("MPI_Send()").Inclusive() != 250 {
+		t.Error("timer tallies lost")
+	}
+	if e := q.Event("Message size sent"); e == nil || e.Count() != 2 || e.Mean() != 320 {
+		t.Error("event moments lost")
+	}
+	if q.GroupEnabled("POST") {
+		t.Error("group switch lost")
+	}
+	if len(q.MetricNames()) != len(p.MetricNames()) {
+		t.Error("metric names lost")
+	}
+	// MeanSummary must treat decoded and live profiles identically.
+	ms1 := MeanSummary([]*Profile{p, p})
+	ms2 := MeanSummary([]*Profile{q, q})
+	if len(ms1) != len(ms2) {
+		t.Fatalf("summary rows %d vs %d", len(ms1), len(ms2))
+	}
+	for i := range ms1 {
+		if ms1[i] != ms2[i] {
+			t.Errorf("summary row %d drifted: %+v vs %+v", i, ms1[i], ms2[i])
+		}
+	}
+	// A decoded profile cannot sample live counters, but must say so
+	// gracefully.
+	if _, ok := q.CounterValue(WallClock); ok {
+		t.Error("decoded profile claims live counters")
+	}
+}
+
+func TestProfileGobEncodeRejectsRunningTimers(t *testing.T) {
+	p, _ := newProfile()
+	p.Start("main()", "APP")
+	if _, err := p.GobEncode(); err == nil {
+		t.Error("encoding a running profile succeeded")
+	}
+}

@@ -338,6 +338,11 @@ func (p *Profile) Timers() []*Timer {
 func (p *Profile) CounterValue(name string) (float64, bool) {
 	for i, n := range p.metricNames {
 		if n == name {
+			if i >= len(p.metricSources) {
+				// A decoded (read-only) profile has names but no live
+				// sources to sample.
+				return 0, false
+			}
 			return p.metricSources[i](), true
 		}
 	}
@@ -398,7 +403,10 @@ func MeanSummary(profiles []*Profile) []SummaryRow {
 	}
 	merged := map[string]*Timer{}
 	var order []*Timer
-	nm := len(profiles[0].metricSources)
+	// Metric count comes from the names, not the sources: a decoded
+	// (checkpointed) profile keeps its names and tallies but has no live
+	// source callbacks.
+	nm := len(profiles[0].metricNames)
 	for _, p := range profiles {
 		for _, t := range p.order {
 			m, ok := merged[t.name]
