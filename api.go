@@ -52,15 +52,28 @@ type (
 	CampaignResult = campaign.Result
 	// CampaignEvent is one serialized progress report.
 	CampaignEvent = campaign.Event
-	// Grid cross-products world parameters (ranks x network x cache x seed
-	// replications) into scenario sets.
+	// Grid cross-products first-class axes (Dimension values) times seed
+	// replications into scenario sets.
 	Grid = campaign.Grid
-	// Scenario is one expanded grid point with its derived seed.
+	// Dimension is one first-class grid axis: a stable name plus an
+	// ordered value list. Build them with RankAxis, NetAxis, CacheAxis,
+	// CPUAxis, MeshAxis, FluxAxis — or literally, for custom parameters.
+	Dimension = campaign.Dimension
+	// DimValue is one value along a Dimension: a stable key token, a
+	// payload, and an optional world mutation.
+	DimValue = campaign.DimValue
+	// Coord locates a scenario along one grid axis.
+	Coord = campaign.Coord
+	// Scenario is one expanded grid point with its derived seed and its
+	// coordinate on every axis.
 	Scenario = campaign.Scenario
 	// NamedNet labels an interconnect model for scenario keys.
 	NamedNet = campaign.NamedNet
 	// MeshSize is one app-level base-mesh dimension choice of a Grid.
 	MeshSize = campaign.MeshSize
+	// CPUTune scales the simulated CPU model (clock, hit/miss penalties);
+	// the zero value leaves calibrated timings bit-for-bit unchanged.
+	CPUTune = mpi.CPUTune
 	// GridSweep is one grid scenario's sweep result and fitted model.
 	GridSweep = harness.GridSweep
 	// GridPoint is one streamed grid scenario's distilled outcome
@@ -88,12 +101,24 @@ type (
 	// (job key, config hash) under a cache directory.
 	CheckpointStore = store.Store
 
-	// TrendReport is one kernel's coefficient-vs-cache-size analysis.
+	// TrendReport is one kernel's coefficient-vs-axis analysis.
 	TrendReport = harness.TrendReport
-	// TrendPoint is one cache size's averaged model coefficients.
+	// TrendAxis selects the numeric grid dimension trend reports fit model
+	// coefficients against.
+	TrendAxis = harness.TrendAxis
+	// TrendPoint is one axis value's averaged model coefficients.
 	TrendPoint = harness.TrendPoint
-	// TrendFit is one coefficient's fitted trend against cache size.
+	// TrendFit is one coefficient's fitted trend against the axis.
 	TrendFit = harness.TrendFit
+)
+
+// Built-in trend axes for BuildTrends: cache size in kB (the original
+// Section 6 study), CPU clock scale, rank count and base-mesh cell count.
+var (
+	TrendCacheKB   = harness.TrendCacheKB
+	TrendCPUClock  = harness.TrendCPUClock
+	TrendRanks     = harness.TrendRanks
+	TrendMeshCells = harness.TrendMeshCells
 )
 
 // Measured kernels.
@@ -214,10 +239,31 @@ func EmitRow(ctx context.Context, key string, row Row) error {
 	return campaign.Emit(ctx, key, row)
 }
 
-// BuildTrends fits model coefficients against cache size over streamed
-// grid points, one report per measured kernel (the paper's Section 6
-// "coefficients parameterized by a cache model").
-func BuildTrends(points []GridPoint) ([]*TrendReport, error) { return harness.BuildTrends(points) }
+// Axis constructors for Grid.Axes. RankAxis, NetAxis, CacheAxis, CPUAxis
+// and CPUClockAxis mutate the scenario's machine; MeshAxis and FluxAxis
+// are app-level axes the harness maps onto its configs.
+func RankAxis(procs ...int) Dimension       { return campaign.RankAxis(procs...) }
+func NetAxis(nets ...NamedNet) Dimension    { return campaign.NetAxis(nets...) }
+func CacheAxis(kbs ...int) Dimension        { return campaign.CacheAxis(kbs...) }
+func CPUAxis(tunes ...CPUTune) Dimension    { return campaign.CPUAxis(tunes...) }
+func CPUClockAxis(s ...float64) Dimension   { return campaign.CPUClockAxis(s...) }
+func MeshAxis(meshes ...MeshSize) Dimension { return campaign.MeshAxis(meshes...) }
+func FluxAxis(fluxes ...string) Dimension   { return campaign.FluxAxis(fluxes...) }
+
+// TrendByAxis builds a trend selector for any numeric user-defined grid
+// dimension; TrendAxisNamed resolves a flag-style axis name.
+func TrendByAxis(axis string) TrendAxis { return harness.TrendByAxis(axis) }
+func TrendAxisNamed(name string) (TrendAxis, error) {
+	return harness.TrendAxisNamed(name)
+}
+
+// BuildTrends fits model coefficients against the chosen swept dimension
+// over streamed grid points, one report per measured kernel (the paper's
+// Section 6 "coefficients parameterized by processor speed and a cache
+// model").
+func BuildTrends(points []GridPoint, axis TrendAxis) ([]*TrendReport, error) {
+	return harness.BuildTrends(points, axis)
+}
 
 // WriteTrendCSV writes trend reports as one long-format CSV.
 func WriteTrendCSV(w io.Writer, reports []*TrendReport) error {

@@ -55,7 +55,9 @@ func main() {
 		reps    = flag.Int("reps", 4, "sweep repetitions per size and mode")
 		workers = flag.Int("workers", 0, "campaign workers (0 = all CPUs)")
 		cache   = flag.String("cache", "auto", `checkpoint store directory ("auto" = <out>/.cache, "off" disables)`)
-		caches  = flag.String("trendcaches", "128,256,512,1024", "comma-separated cache sizes (kB) for -fig trend")
+		caches  = flag.String("trendcaches", "128,256,512,1024", "comma-separated cache sizes (kB) for -fig trend -axis cache_kb")
+		clocks  = flag.String("trendclocks", "0.5,1,2,4", "comma-separated CPU clock scales for -fig trend -axis cpu_clock")
+		axis    = flag.String("axis", "cache_kb", "trend grid axis for -fig trend: cache_kb | cpu_clock")
 		trReps  = flag.Int("trendreps", 2, "seed replications per trend grid point")
 	)
 	flag.Parse()
@@ -66,9 +68,14 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-trendcaches: %w", err))
 	}
+	trendClocks, err := parseFloats(*clocks)
+	if err != nil {
+		fatal(fmt.Errorf("-trendclocks: %w", err))
+	}
 	g := &generator{
 		outDir: *outDir, procs: *procs, seed: *seed, reps: *reps,
-		trendCaches: trendCaches, trendReps: *trReps,
+		trendAxis: *axis, trendCaches: trendCaches, trendClocks: trendClocks,
+		trendReps: *trReps,
 	}
 
 	cfg := campaign.Config{
@@ -109,7 +116,10 @@ func main() {
 	cfg.Sink = sink
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
-	jobs := g.jobs(want)
+	jobs, err := g.jobs(want)
+	if err != nil {
+		fatal(err)
+	}
 	if len(jobs) == 0 {
 		fatal(fmt.Errorf("nothing to do for -fig %s", *fig))
 	}
@@ -144,13 +154,32 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 type generator struct {
 	outDir string
 	procs  int
 	seed   int64
 	reps   int
 
+	trendAxis   string
 	trendCaches []int
+	trendClocks []float64
 	trendReps   int
 }
 
@@ -167,7 +196,7 @@ type figFile struct {
 // jobs assembles the campaign graph for the wanted figures: measurement
 // jobs (case study, sweeps, trend grid scenarios), fit jobs hanging off
 // the sweeps, and figure jobs hanging off whichever results they render.
-func (g *generator) jobs(want func(string) bool) []campaign.Job {
+func (g *generator) jobs(want func(string) bool) ([]campaign.Job, error) {
 	needCase := want("1") || want("2") || want("3") || want("9") || want("10")
 	needModel := map[harness.Kernel]bool{
 		harness.KernelStates:  want("6") || want("10"),
@@ -253,9 +282,13 @@ func (g *generator) jobs(want func(string) bool) []campaign.Job {
 		})
 
 	if want("trend") {
-		jobs = append(jobs, g.trendJobs()...)
+		tj, err := g.trendJobs()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, tj...)
 	}
-	return jobs
+	return jobs, nil
 }
 
 // sweepConfig builds the calibrated sweep for one kernel.
@@ -267,19 +300,44 @@ func (g *generator) sweepConfig(k harness.Kernel) harness.SweepConfig {
 	return cfg
 }
 
-// trendJobs builds the Section 6 grid study: one streaming scenario job
-// per (cache size, replication) — each emits its rows into the shard sink
-// and keeps only the fitted model — plus the trend job that consumes every
-// grid point and renders the coefficient-vs-cache-size report.
-func (g *generator) trendJobs() []campaign.Job {
-	base := g.sweepConfig(harness.KernelStates)
+// trendGrid builds the trend study's scenario grid and axis selector for
+// the -axis flag: the cache-size axis (the original Section 6 study) or
+// the CPU clock axis (the "parameterized by processor speed" half).
+func (g *generator) trendGrid(base harness.SweepConfig) (campaign.Grid, harness.TrendAxis, error) {
+	axis, err := harness.TrendAxisNamed(g.trendAxis)
+	if err != nil {
+		return campaign.Grid{}, axis, err
+	}
 	grid := campaign.Grid{
 		Base:         base.World,
-		CacheKBs:     g.trendCaches,
 		Replications: g.trendReps,
 		BaseSeed:     g.seed,
 	}
-	jobs := harness.StreamJobs(base, grid)
+	switch axis.Name {
+	case harness.TrendCacheKB.Name:
+		grid.Axes = []campaign.Dimension{campaign.CacheAxis(g.trendCaches...)}
+	case harness.TrendCPUClock.Name:
+		grid.Axes = []campaign.Dimension{campaign.CPUClockAxis(g.trendClocks...)}
+	default:
+		return grid, axis, fmt.Errorf("-axis %s: no sweep flags for this axis here (supported: cache_kb, cpu_clock)", axis.Name)
+	}
+	return grid, axis, nil
+}
+
+// trendJobs builds the Section 6 grid study: one streaming scenario job
+// per (axis value, replication) — each emits its rows into the shard sink
+// and keeps only the fitted model — plus the trend job that consumes every
+// grid point and renders the coefficient-vs-axis report.
+func (g *generator) trendJobs() ([]campaign.Job, error) {
+	base := g.sweepConfig(harness.KernelStates)
+	grid, axis, err := g.trendGrid(base)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := harness.StreamJobs(base, grid)
+	if err != nil {
+		return nil, err
+	}
 	after := make([]string, len(jobs))
 	for i, j := range jobs {
 		after[i] = j.Key
@@ -289,7 +347,7 @@ func (g *generator) trendJobs() []campaign.Job {
 		for i, key := range after {
 			points[i] = deps[key].(harness.GridPoint)
 		}
-		reports, err := harness.BuildTrends(points)
+		reports, err := harness.BuildTrends(points, axis)
 		if err != nil {
 			return err
 		}
@@ -302,7 +360,7 @@ func (g *generator) trendJobs() []campaign.Job {
 			return harness.WriteTrendReport(w, reports)
 		})
 	})
-	return append(jobs, trend)
+	return append(jobs, trend), nil
 }
 
 // render runs a writer into a buffer and records the named output file.
@@ -321,10 +379,16 @@ func render(out *[]figFile, name string, fn func(io.Writer) error) error {
 func (g *generator) figJob(key string, after []string, renderFn func(deps map[string]any, out *[]figFile) error) campaign.Job {
 	parts := []any{figVersion, key, g.procs, g.seed, g.reps}
 	if key == "trend" {
-		// Only the trend job depends on the grid flags; folding them into
-		// every figure's hash would needlessly invalidate fig1-fig10
-		// checkpoints when the trend grid changes.
-		parts = append(parts, g.trendCaches, g.trendReps)
+		// Only the trend job depends on the grid flags, and only on the
+		// active axis's value list: folding the rest into the hash would
+		// needlessly invalidate checkpoints when an unrelated flag moves.
+		// The default cache axis keeps its pre--axis-flag hash so existing
+		// stores stay warm.
+		if g.trendAxis != "" && g.trendAxis != "cache_kb" {
+			parts = append(parts, g.trendAxis, g.trendClocks, g.trendReps)
+		} else {
+			parts = append(parts, g.trendCaches, g.trendReps)
+		}
 	}
 	hash := store.Hash(parts...)
 	return campaign.Job{

@@ -28,7 +28,8 @@ func main() {
 		models  = flag.Bool("models", false, "run the kernel sweeps and print Eq. 1/2 fits")
 		records = flag.Bool("records", false, "dump the Mastermind records (CSV)")
 		cacheSt = flag.Bool("cachestudy", false, "refit the States model under 128kB/512kB/1MB caches and fit the cache-aware T(Q,DCM) model (paper Section 6 outlook)")
-		report  = flag.Bool("report", false, "stream a cache-size x flux grid through an aggregating sink and print the coefficient-vs-cache-size trend report")
+		report  = flag.Bool("report", false, "stream a machine-axis x flux grid through an aggregating sink and print the coefficient-vs-axis trend report")
+		axis    = flag.String("axis", "cache_kb", "trend axis for -report: cache_kb | cpu_clock")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
 	)
@@ -125,16 +126,31 @@ func main() {
 		fmt.Println()
 		// A reduced States/EFM sweep keeps the grid quick; the campaign
 		// streams every scenario's rows into an aggregating sink, so no
-		// per-scenario SweepResult survives its job.
+		// per-scenario SweepResult survives its job. The -axis flag picks
+		// the machine dimension the grid sweeps and the trend fits against.
 		base := harness.DefaultSweep(harness.KernelStates)
 		base.World.Procs = *procs
 		base.World.Seed = *seed
 		base.Sizes = base.Sizes[:8]
 		base.Reps = 2
+		trendAxis, err := harness.TrendAxisNamed(*axis)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var machineAxis campaign.Dimension
+		switch trendAxis.Name {
+		case harness.TrendCacheKB.Name:
+			machineAxis = campaign.CacheAxis(128, 256, 512, 1024)
+		case harness.TrendCPUClock.Name:
+			machineAxis = campaign.CPUClockAxis(0.5, 1, 2, 4)
+		default:
+			fmt.Fprintf(os.Stderr, "-axis %s: no built-in sweep here (supported: cache_kb, cpu_clock)\n", trendAxis.Name)
+			os.Exit(2)
+		}
 		grid := campaign.Grid{
 			Base:         base.World,
-			CacheKBs:     []int{128, 256, 512, 1024},
-			Fluxes:       []string{"states", "efm"},
+			Axes:         []campaign.Dimension{machineAxis, campaign.FluxAxis("states", "efm")},
 			Replications: 2,
 			BaseSeed:     *seed,
 		}
@@ -146,7 +162,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		reports, err := harness.BuildTrends(pts)
+		reports, err := harness.BuildTrends(pts, trendAxis)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -38,12 +38,40 @@
 //   - every job's machine draws its randomness from its own config seed,
 //     never from scheduling, so output is byte-identical for any worker
 //     count;
-//   - Grid cross-products world parameters (ranks x network model x cache
-//     size x seed replications) into scenario job sets (RunSweepGrid),
-//     deriving each scenario's seed via DeriveSeed(base, key) so
-//     replications draw independent streams;
 //   - errors aggregate across jobs (errors.Join) and progress events
 //     stream serially through CampaignConfig.OnProgress.
+//
+// # Grids and dimensions
+//
+// A Grid is the cross product of first-class axes times seed
+// replications. Each axis is a Dimension — a stable name plus an ordered
+// value list, where every value carries a stable key token (one segment
+// of the scenario key) and an optional mutation of the scenario's
+// simulated machine:
+//
+//   - built-in machine axes: RankAxis (world size), NetAxis
+//     (interconnect), CacheAxis (per-rank cache kB), and CPUAxis /
+//     CPUClockAxis (CPUTune: clock scale, cache hit/miss penalty
+//     multipliers — the Section 6 "parameterized by processor speed"
+//     knobs);
+//   - built-in app-level axes: MeshAxis (case-study base grid) and
+//     FluxAxis (godunov/efm/states), mapped onto harness configs through
+//     the scenario's coordinates;
+//   - custom axes are Dimension literals — a user-defined name, keys and
+//     Apply hooks — with no library change (see examples/campaign, which
+//     sweeps network load noise);
+//   - expansion (Grid.Scenarios) is deterministic, derives each
+//     scenario's seed via DeriveSeed(base, key) so replications draw
+//     independent streams, and rejects duplicate axis names or value keys,
+//     which would silently alias scenario keys and checkpoint entries;
+//   - unswept rank/net/cache axes contribute implicit single-valued
+//     defaults (key segments "p3", "base", "c512kB"), and any other
+//     unswept axis contributes nothing, so scenario keys, seeds and
+//     checkpoint hashes are stable as the axis library grows.
+//
+// A Scenario carries its coordinate on every axis ([]Coord) rather than
+// one struct field per dimension, so consumers — RunSweepGrid,
+// StreamSweepGrid, trend reports — handle any axis generically.
 //
 // See examples/campaign for a grid study and cmd/figures for the full
 // figure-regeneration graph.
@@ -69,10 +97,13 @@
 //     completed jobs and produces byte-identical output, with cached
 //     jobs replaying their rows into the sink;
 //   - the cross-scenario trend report (BuildTrends, WriteTrendCSV,
-//     WriteTrendReport) fits every model coefficient against cache size
-//     over a streamed grid — the paper's Section 6 "coefficients
-//     parameterized by a cache model" — and is emitted by
-//     "cmd/figures -fig trend" and "cmd/pmmcase -report".
+//     WriteTrendReport) fits every model coefficient against any swept
+//     numeric dimension, selected by a TrendAxis (TrendCacheKB,
+//     TrendCPUClock, TrendRanks, TrendMeshCells, or TrendByAxis for a
+//     custom dimension) — the paper's Section 6 "coefficients
+//     parameterized by processor speed and a cache model" — and is
+//     emitted by "cmd/figures -fig trend [-axis cpu_clock]" and
+//     "cmd/pmmcase -report [-axis cpu_clock]".
 //
 // This package is the facade: it re-exports the experiment harness and the
 // campaign engine that regenerate every figure of the paper's evaluation.

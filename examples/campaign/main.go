@@ -3,13 +3,16 @@
 // outlook ("the coefficients should be parameterized by processor speed
 // and a cache model") scaled to many scenarios at once.
 //
-// A Grid cross-products cache sizes with seed replications into
-// independent simulated-machine jobs. Each job streams its telemetry rows
-// into a sink (here a CSV-shard sink teed with an on-the-fly aggregator)
-// and checkpoints its fitted model into a content-addressed store, then
-// drops its raw sweep: memory stays bounded as the grid grows, and
-// re-running the example resumes from the store, executing zero completed
-// scenarios while producing identical output.
+// A Grid is a list of first-class axes (Dimension values) crossed with
+// seed replications. Here the grid sweeps the cache-size axis against the
+// new CPU clock axis, plus a custom user-defined dimension — network load
+// noise — to show that adding a machine parameter to the sweep space is
+// one Dimension literal, not an API change. Each scenario streams its
+// telemetry rows into a sink (a CSV-shard sink teed with an on-the-fly
+// aggregator) and checkpoints its fitted model into a content-addressed
+// store, then drops its raw sweep: memory stays bounded as the grid grows,
+// and re-running the example resumes from the store, executing zero
+// completed scenarios while producing identical output.
 package main
 
 import (
@@ -30,13 +33,29 @@ func main() {
 	base.Reps = 2
 	base.World.Procs = 2
 
+	// A custom axis: nobody had to touch the campaign package for this.
+	// Each value names itself (the key token lands in scenario keys and
+	// shard file names) and mutates the scenario's machine.
+	noise := repro.Dimension{Name: "load", Values: []repro.DimValue{
+		{Key: "quiet", Value: 0.0, Apply: func(w *repro.WorldConfig) { w.Net.NoiseSigma = 0 }},
+		{Key: "loaded", Value: 0.7, Apply: func(w *repro.WorldConfig) { w.Net.NoiseSigma = 0.7 }},
+	}}
+
 	g := repro.Grid{
-		Base:         base.World,
-		CacheKBs:     []int{128, 256, 512, 1024},
+		Base: base.World,
+		Axes: []repro.Dimension{
+			repro.CacheAxis(128, 512),
+			repro.CPUClockAxis(1, 2),
+			noise,
+		},
 		Replications: 2,
 		BaseSeed:     1,
 	}
-	fmt.Printf("campaign: %d scenarios on %d workers\n", len(g.Scenarios()), runtime.NumCPU())
+	scs, err := g.Scenarios()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d scenarios on %d workers\n", len(scs), runtime.NumCPU())
 
 	// Streamed results: one CSV shard per scenario plus running aggregates,
 	// checkpointed under a cache directory for cheap re-runs.
@@ -61,7 +80,7 @@ func main() {
 			if e.Err != nil {
 				status = e.Err.Error()
 			}
-			fmt.Printf("  [%2d/%2d] %-22s %8.2fs  %s\n",
+			fmt.Printf("  [%2d/%2d] %-32s %8.2fs  %s\n",
 				e.Done, e.Total, e.Key, e.Elapsed.Seconds(), status)
 		},
 	}
@@ -78,20 +97,23 @@ func main() {
 	fmt.Println("\nstreamed wall_us aggregates (per scenario):")
 	for _, key := range agg.Keys() {
 		if s, ok := agg.Stat(key, "wall_us"); ok {
-			fmt.Printf("  %-24s n=%4d  mean=%10.2f  sd=%10.2f\n", key, s.N, s.Mean, s.StdDev)
+			fmt.Printf("  %-34s n=%4d  mean=%10.2f  sd=%10.2f\n", key, s.N, s.Mean, s.StdDev)
 		}
 	}
 
-	// The cross-scenario trend: the functional form stays a power law
-	// while the coefficients move with the cache size — and the trend fit
-	// turns that movement into a model of its own.
-	reports, err := repro.BuildTrends(pts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	if err := repro.WriteTrendReport(os.Stdout, reports); err != nil {
-		log.Fatal(err)
+	// The cross-scenario trends: the same grid points fit against either
+	// machine axis. The functional form stays a power law while the
+	// coefficients move with the cache size and the clock scale — and the
+	// trend fit turns that movement into a model of its own.
+	for _, axis := range []repro.TrendAxis{repro.TrendCacheKB, repro.TrendCPUClock} {
+		reports, err := repro.BuildTrends(pts, axis)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := repro.WriteTrendReport(os.Stdout, reports); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("\nscenario rows under %s, checkpoints under %s — re-run me: zero scenarios re-execute\n",
 		filepath.Join(outDir, "rows"), filepath.Join(outDir, ".cache"))

@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// This file is the first-class axis abstraction of the experiment grid.
+// A Dimension is an axis as data — a stable name plus an ordered value
+// list — instead of a dedicated struct field on Grid, so adding a machine
+// or application parameter to the sweep space is one Dimension value, not
+// a cross-cutting edit through grid expansion, scenario keys, seed
+// derivation and checkpoint hashing. The constructors below rebuild the
+// historical axes (ranks, interconnect, cache size, mesh, flux) on top of
+// it and add the CPU-model axis the paper's Section 6 calls for.
+
+// Canonical axis names. Grid expansion and the harness's scenario-to-config
+// mapping recognize these; user-defined dimensions may use any other name.
+const (
+	AxisRank  = "rank"
+	AxisNet   = "net"
+	AxisCache = "cache"
+	AxisMesh  = "mesh"
+	AxisFlux  = "flux"
+	AxisCPU   = "cpu"
+)
+
+// DimValue is one value along a Dimension.
+type DimValue struct {
+	// Key is the value's stable token: it becomes one segment of every
+	// containing scenario's key ("c512kB", "eth", "m96x24"), so it must be
+	// non-empty and unique within its axis. Changing a token re-keys — and
+	// therefore re-seeds and re-checkpoints — every scenario built from it.
+	Key string
+	// Value is the payload carried onto the scenario's coordinate.
+	// Numeric payloads (int, int64, float64) can feed cross-scenario trend
+	// fits; richer payloads (MeshSize, mpi.CPUTune) are decoded by the
+	// axis's consumers.
+	Value any
+	// Apply mutates the scenario's machine. Nil for app-level axes whose
+	// consumers read the coordinate instead (mesh, flux).
+	Apply func(*mpi.WorldConfig)
+}
+
+// Dimension is one first-class grid axis: a stable name and an ordered
+// value list. Grid.Axes cross-products dimensions into scenarios.
+type Dimension struct {
+	// Name identifies the axis ("cache", "cpu", ...) within its grid.
+	Name string
+	// Values is the ordered sweep list.
+	Values []DimValue
+}
+
+// Coord locates a scenario along one axis: the axis name, the value's key
+// token, and the value payload.
+type Coord struct {
+	Axis  string
+	Key   string
+	Value any
+}
+
+func init() {
+	// Coord.Value travels as an interface inside gob-encoded checkpoint
+	// payloads (GridPoint carries a Scenario); register the payload types
+	// the built-in axes use.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(MeshSize{})
+	gob.Register(mpi.CPUTune{})
+}
+
+// RankAxis sweeps the world size. Keys are "p<n>"; values apply
+// WorldConfig.Procs.
+func RankAxis(procs ...int) Dimension {
+	d := Dimension{Name: AxisRank}
+	for _, p := range procs {
+		p := p
+		d.Values = append(d.Values, DimValue{
+			Key: fmt.Sprintf("p%d", p), Value: p,
+			Apply: func(w *mpi.WorldConfig) { w.Procs = p },
+		})
+	}
+	return d
+}
+
+// NetAxis sweeps the interconnect model. Keys are the nets' names (an
+// empty name reads "base"); values apply WorldConfig.Net.
+func NetAxis(nets ...NamedNet) Dimension {
+	d := Dimension{Name: AxisNet}
+	for _, n := range nets {
+		n := n
+		name := n.Name
+		if name == "" {
+			name = "base"
+		}
+		d.Values = append(d.Values, DimValue{
+			Key: name, Value: name,
+			Apply: func(w *mpi.WorldConfig) { w.Net = n.Model },
+		})
+	}
+	return d
+}
+
+// CacheAxis sweeps the per-rank cache capacity in kB. Keys are "c<n>kB";
+// values apply WorldConfig.Cache.SizeBytes.
+func CacheAxis(kbs ...int) Dimension {
+	d := Dimension{Name: AxisCache}
+	for _, kb := range kbs {
+		kb := kb
+		d.Values = append(d.Values, DimValue{
+			Key: fmt.Sprintf("c%dkB", kb), Value: kb,
+			Apply: func(w *mpi.WorldConfig) { w.Cache.SizeBytes = kb * 1024 },
+		})
+	}
+	return d
+}
+
+// MeshAxis sweeps the app-level base mesh size. Keys are "m<nx>x<ny>"; the
+// world is untouched — consumers read the MeshSize coordinate (the harness
+// maps it onto the case study's base grid).
+func MeshAxis(meshes ...MeshSize) Dimension {
+	d := Dimension{Name: AxisMesh}
+	for _, m := range meshes {
+		d.Values = append(d.Values, DimValue{Key: "m" + m.String(), Value: m})
+	}
+	return d
+}
+
+// FluxAxis sweeps the app-level flux choice ("godunov", "efm", "states").
+// Keys are the names themselves; the world is untouched — consumers read
+// the coordinate (the harness maps it onto the measured kernel in sweep
+// grids and the assembly's flux implementation in case-study runs).
+func FluxAxis(fluxes ...string) Dimension {
+	d := Dimension{Name: AxisFlux}
+	for _, f := range fluxes {
+		d.Values = append(d.Values, DimValue{Key: f, Value: f})
+	}
+	return d
+}
+
+// cpuKey renders a CPU tune as a stable key token: the clock scale always
+// ("cpu1.5x"), hit/miss penalty scales only when set ("cpu1x-h2-m0.5").
+func cpuKey(t mpi.CPUTune) string {
+	scale := func(v float64) float64 {
+		if v == 0 {
+			return 1
+		}
+		return v
+	}
+	s := fmt.Sprintf("cpu%gx", scale(t.ClockScale))
+	if h := scale(t.HitScale); h != 1 {
+		s += fmt.Sprintf("-h%g", h)
+	}
+	if m := scale(t.MissScale); m != 1 {
+		s += fmt.Sprintf("-m%g", m)
+	}
+	return s
+}
+
+// CPUAxis sweeps the processor model — clock scale and cache hit/miss
+// penalty multipliers — through WorldConfig.Tune: the Section 6
+// "parameterized by processor speed" machine axis.
+func CPUAxis(tunes ...mpi.CPUTune) Dimension {
+	d := Dimension{Name: AxisCPU}
+	for _, t := range tunes {
+		t := t
+		d.Values = append(d.Values, DimValue{
+			Key: cpuKey(t), Value: t,
+			Apply: func(w *mpi.WorldConfig) { w.Tune = t },
+		})
+	}
+	return d
+}
+
+// CPUClockAxis is CPUAxis over clock scales alone: CPUClockAxis(0.5, 1, 2)
+// sweeps machines at half, calibrated and double clock speed.
+func CPUClockAxis(scales ...float64) Dimension {
+	tunes := make([]mpi.CPUTune, len(scales))
+	for i, s := range scales {
+		tunes[i] = mpi.CPUTune{ClockScale: s}
+	}
+	return CPUAxis(tunes...)
+}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
@@ -22,37 +23,31 @@ type MeshSize struct {
 // String renders the mesh the way scenario keys do ("96x24").
 func (m MeshSize) String() string { return fmt.Sprintf("%dx%d", m.Nx, m.Ny) }
 
-// Grid is a scenario specification: the cross product of the parameters
-// the paper's evaluation varies — world-level dimensions (rank count,
-// interconnect, cache size) and app-level dimensions (base mesh size, flux
-// implementation) — times seed replications. Expanding a Grid yields one
-// Scenario (and hence one campaign job) per combination, each with a
-// deterministic per-scenario seed derived from the base seed and the
-// scenario key.
+// Grid is a scenario specification: the cross product of first-class axes
+// (Dimension values — ranks, interconnect, cache size, CPU model, mesh,
+// flux, or any user-defined machine or application parameter) times seed
+// replications. Expanding a Grid yields one Scenario (and hence one
+// campaign job) per combination, each with a deterministic per-scenario
+// seed derived from the base seed and the scenario key.
 //
-// App-level dimensions are carried as plain labels on the Scenario; the
-// harness maps them onto its configs (Flux selects the measured flux
-// kernel in sweep grids and the assembly's flux implementation in
-// case-study runs; Mesh sets the case study's base grid). An unswept
-// dimension contributes no key segment, so adding dimensions never
-// perturbs the seeds of existing grids.
+// Three axes describe the machine identity every scenario key has always
+// carried: rank count, interconnect and cache size. Expansion slots them
+// into the canonical leading key positions — the swept axis when the grid
+// lists one, otherwise a single-valued default derived from Base (key
+// segments "p3", "base", "c512kB") — so keys, and hence derived seeds and
+// checkpoint hashes, are stable whether or not those axes are swept, and
+// grids written against the pre-Dimension API expand byte-identically no
+// matter which subset of machine axes they swept. Other unswept axes
+// simply do not appear, so adding a dimension to the library never
+// perturbs existing grids.
 type Grid struct {
 	// Base is the template world; every scenario starts from a copy.
 	Base mpi.WorldConfig
-	// Ranks lists the world sizes to sweep. Empty keeps Base.Procs.
-	Ranks []int
-	// Nets lists the interconnect models to sweep. Empty keeps Base.Net.
-	Nets []NamedNet
-	// CacheKBs lists per-rank cache capacities in kB. Empty keeps
-	// Base.Cache.SizeBytes.
-	CacheKBs []int
-	// Meshes lists app-level base mesh sizes to sweep. Empty leaves
-	// Scenario.Mesh zero (callers keep their configured mesh).
-	Meshes []MeshSize
-	// Fluxes lists app-level flux choices to sweep ("godunov", "efm").
-	// Empty leaves Scenario.Flux empty (callers keep their configured
-	// flux / kernel).
-	Fluxes []string
+	// Axes lists the swept dimensions, outermost first. Axis names and
+	// value keys must be non-empty and unique (names across the grid, keys
+	// within their axis); Scenarios rejects violations, because colliding
+	// keys would silently alias scenario seeds and checkpoint entries.
+	Axes []Dimension
 	// Replications is the number of independently seeded repetitions of
 	// each combination. Zero or negative means 1.
 	Replications int
@@ -68,51 +63,194 @@ type Scenario struct {
 	Key string
 	// World is the scenario's machine, seed already derived.
 	World mpi.WorldConfig
-	// Net names the interconnect dimension value ("base" if unswept).
-	Net string
-	// CacheKB is the cache capacity in kB.
-	CacheKB int
-	// Mesh is the app-level base mesh size; zero when the dimension is
-	// unswept.
-	Mesh MeshSize
-	// Flux is the app-level flux choice ("godunov", "efm"); empty when the
-	// dimension is unswept.
-	Flux string
+	// Coords locates the scenario along every grid axis, in axis order —
+	// including the implicit rank/net/cache defaults when unswept.
+	Coords []Coord
 	// Replication is the repetition index in [0, Replications).
 	Replication int
 }
 
-// Scenarios expands the grid in deterministic nested order (ranks
-// outermost, then nets, caches, meshes, fluxes, with replications
-// innermost). A swept app-level dimension adds its segment to the key
-// ("p3/eth/c512kB/m96x24/efm/r0"); unswept dimensions contribute nothing,
-// keeping existing grids' keys — and hence their derived seeds — stable.
-func (g Grid) Scenarios() []Scenario {
-	ranks := g.Ranks
-	if len(ranks) == 0 {
-		ranks = []int{g.Base.Procs}
+// Coord returns the scenario's coordinate on the named axis.
+func (sc Scenario) Coord(axis string) (Coord, bool) {
+	for _, c := range sc.Coords {
+		if c.Axis == axis {
+			return c, true
+		}
 	}
-	nets := g.Nets
-	if len(nets) == 0 {
-		nets = []NamedNet{{Name: "base", Model: g.Base.Net}}
+	return Coord{}, false
+}
+
+// Label returns the scenario's key token on the named axis, or "" when the
+// axis is not part of the scenario's grid.
+func (sc Scenario) Label(axis string) string {
+	c, _ := sc.Coord(axis)
+	return c.Key
+}
+
+// Num returns the scenario's numeric coordinate on the named axis. Axes
+// whose payloads are not int, int64 or float64 report false.
+func (sc Scenario) Num(axis string) (float64, bool) {
+	c, ok := sc.Coord(axis)
+	if !ok {
+		return 0, false
 	}
-	// Cache choices carry exact byte sizes so an unswept dimension keeps
-	// Base.Cache.SizeBytes untouched (it need not be kB-aligned).
-	type cacheChoice struct{ kb, bytes int }
-	var caches []cacheChoice
-	for _, kb := range g.CacheKBs {
-		caches = append(caches, cacheChoice{kb: kb, bytes: kb * 1024})
+	switch v := c.Value.(type) {
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
 	}
-	if len(caches) == 0 {
-		caches = []cacheChoice{{kb: g.Base.Cache.SizeBytes / 1024, bytes: g.Base.Cache.SizeBytes}}
+	return 0, false
+}
+
+// legacyScenario mirrors Scenario's pre-Dimension field set; see GoString.
+type legacyScenario struct {
+	Key         string
+	World       mpi.WorldConfig
+	Net         string
+	CacheKB     int
+	Mesh        MeshSize
+	Flux        string
+	Replication int
+}
+
+// GoString implements fmt.GoStringer (%#v). Checkpoint hashes are SHA-256
+// digests of a scenario's %#v rendering, so scenarios whose coordinates
+// all lie on the pre-Dimension axes (rank, net, cache, mesh, flux — the
+// rank/net/cache values are already visible through World) render exactly
+// as the old named-field struct did, keeping stored campaign payloads
+// addressable across the API redesign. Coordinates on any other axis are
+// appended, so new-axis scenarios hash distinctly.
+func (sc Scenario) GoString() string {
+	legacy := legacyScenario{
+		Key: sc.Key, World: sc.World,
+		Net: sc.Label(AxisNet), Flux: sc.Label(AxisFlux),
+		Replication: sc.Replication,
 	}
-	meshes := g.Meshes
-	if len(meshes) == 0 {
-		meshes = []MeshSize{{}}
+	if c, ok := sc.Coord(AxisCache); ok {
+		if kb, isInt := c.Value.(int); isInt {
+			legacy.CacheKB = kb
+		}
 	}
-	fluxes := g.Fluxes
-	if len(fluxes) == 0 {
-		fluxes = []string{""}
+	if c, ok := sc.Coord(AxisMesh); ok {
+		if m, isMesh := c.Value.(MeshSize); isMesh {
+			legacy.Mesh = m
+		}
+	}
+	s := "campaign.Scenario" + strings.TrimPrefix(fmt.Sprintf("%#v", legacy), "campaign.legacyScenario")
+	var extra []Coord
+	for _, c := range sc.Coords {
+		switch c.Axis {
+		case AxisRank, AxisNet, AxisCache, AxisMesh, AxisFlux:
+		default:
+			extra = append(extra, c)
+		}
+	}
+	if len(extra) > 0 {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", Coords:%#v}", extra)
+	}
+	return s
+}
+
+// defaultAxis builds the single-valued implicit axis for an unswept
+// rank/net/cache dimension. Values carry no Apply: the base world already
+// holds the right setting (and, for the cache, possibly a byte size that
+// is not kB-aligned and must not be rounded through a kB count).
+func defaultAxis(name string, base mpi.WorldConfig) Dimension {
+	switch name {
+	case AxisRank:
+		return Dimension{Name: AxisRank, Values: []DimValue{
+			{Key: fmt.Sprintf("p%d", base.Procs), Value: base.Procs},
+		}}
+	case AxisNet:
+		return Dimension{Name: AxisNet, Values: []DimValue{
+			{Key: "base", Value: "base"},
+		}}
+	default:
+		kb := base.Cache.SizeBytes / 1024
+		return Dimension{Name: AxisCache, Values: []DimValue{
+			{Key: fmt.Sprintf("c%dkB", kb), Value: kb},
+		}}
+	}
+}
+
+// axes returns the grid's effective axis list. The three machine-identity
+// axes always occupy the canonical leading positions rank, net, cache —
+// swept or defaulted — because scenario keys have always started with
+// "p3/eth/c512kB" regardless of which of those dimensions a grid sweeps;
+// slotting a swept rank axis anywhere else would re-key (and so re-seed
+// and re-checkpoint) grids that used to spell Ranks as a struct field.
+// The remaining explicit axes follow in the order given.
+func (g Grid) axes() []Dimension {
+	used := make([]bool, len(g.Axes))
+	out := make([]Dimension, 0, len(g.Axes)+3)
+	for _, name := range []string{AxisRank, AxisNet, AxisCache} {
+		slotted := false
+		for i, d := range g.Axes {
+			if d.Name == name && !used[i] {
+				out = append(out, d)
+				used[i] = true
+				slotted = true
+				break
+			}
+		}
+		if !slotted {
+			out = append(out, defaultAxis(name, g.Base))
+		}
+	}
+	// Any leftover duplicate of a canonical name stays in the list so
+	// validate rejects it.
+	for i, d := range g.Axes {
+		if !used[i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// validate rejects axis sets whose expansion would alias scenario keys —
+// and therefore seeds and checkpoint entries — or drop combinations.
+func validate(axes []Dimension) error {
+	seen := map[string]bool{}
+	for _, d := range axes {
+		if d.Name == "" {
+			return fmt.Errorf("campaign: grid axis with empty name")
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("campaign: duplicate grid axis %q", d.Name)
+		}
+		seen[d.Name] = true
+		if len(d.Values) == 0 {
+			return fmt.Errorf("campaign: grid axis %q has no values", d.Name)
+		}
+		keys := map[string]bool{}
+		for _, v := range d.Values {
+			if v.Key == "" {
+				return fmt.Errorf("campaign: grid axis %q has a value with an empty key", d.Name)
+			}
+			if keys[v.Key] {
+				return fmt.Errorf("campaign: grid axis %q has duplicate value key %q", d.Name, v.Key)
+			}
+			keys[v.Key] = true
+		}
+	}
+	return nil
+}
+
+// Scenarios expands the grid in deterministic nested order: the first axis
+// outermost, the last axis innermost, replications innermost of all. Each
+// value's key token becomes one segment of the scenario key
+// ("p3/eth/c512kB/m96x24/efm/r0"); unswept axes other than the implicit
+// rank/net/cache defaults contribute nothing, keeping existing grids' keys
+// — and hence their derived seeds and checkpoint hashes — stable. It
+// returns an error for duplicate axis names or duplicate value keys within
+// an axis: either would silently alias scenario keys.
+func (g Grid) Scenarios() ([]Scenario, error) {
+	axes := g.axes()
+	if err := validate(axes); err != nil {
+		return nil, err
 	}
 	reps := g.Replications
 	if reps <= 0 {
@@ -122,41 +260,47 @@ func (g Grid) Scenarios() []Scenario {
 	if base == 0 {
 		base = g.Base.Seed
 	}
-	out := make([]Scenario, 0, len(ranks)*len(nets)*len(caches)*len(meshes)*len(fluxes)*reps)
-	for _, p := range ranks {
-		for _, net := range nets {
-			name := net.Name
-			if name == "" {
-				name = "base"
-			}
-			for _, c := range caches {
-				for _, mesh := range meshes {
-					for _, flux := range fluxes {
-						for rep := 0; rep < reps; rep++ {
-							key := fmt.Sprintf("p%d/%s/c%dkB", p, name, c.kb)
-							if mesh != (MeshSize{}) {
-								key += fmt.Sprintf("/m%s", mesh)
-							}
-							if flux != "" {
-								key += "/" + flux
-							}
-							key += fmt.Sprintf("/r%d", rep)
-							w := g.Base
-							w.Procs = p
-							w.Net = net.Model
-							w.Cache.SizeBytes = c.bytes
-							w.Seed = DeriveSeed(base, key)
-							out = append(out, Scenario{
-								Key: key, World: w,
-								Net: name, CacheKB: c.kb,
-								Mesh: mesh, Flux: flux,
-								Replication: rep,
-							})
-						}
-					}
+	total := reps
+	for _, d := range axes {
+		total *= len(d.Values)
+	}
+	out := make([]Scenario, 0, total)
+	idx := make([]int, len(axes))
+	var sb strings.Builder
+	for {
+		for rep := 0; rep < reps; rep++ {
+			sb.Reset()
+			w := g.Base
+			coords := make([]Coord, len(axes))
+			for ai, d := range axes {
+				v := d.Values[idx[ai]]
+				if ai > 0 {
+					sb.WriteByte('/')
+				}
+				sb.WriteString(v.Key)
+				coords[ai] = Coord{Axis: d.Name, Key: v.Key, Value: v.Value}
+				if v.Apply != nil {
+					v.Apply(&w)
 				}
 			}
+			fmt.Fprintf(&sb, "/r%d", rep)
+			key := sb.String()
+			w.Seed = DeriveSeed(base, key)
+			out = append(out, Scenario{
+				Key: key, World: w, Coords: coords, Replication: rep,
+			})
+		}
+		// Advance the mixed-radix odometer, last axis fastest.
+		ai := len(axes) - 1
+		for ; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(axes[ai].Values) {
+				break
+			}
+			idx[ai] = 0
+		}
+		if ai < 0 {
+			return out, nil
 		}
 	}
-	return out
 }

@@ -169,13 +169,13 @@ func RunCacheStudyCampaign(ctx context.Context, cc campaign.Config, base SweepCo
 }
 
 // scenarioSweepConfig specializes the base sweep to one grid scenario: the
-// scenario's world, plus its flux-choice dimension, which selects the
-// measured kernel ("godunov", "efm", "states"; empty keeps the base
-// kernel).
+// scenario's world, plus its flux-axis coordinate, which selects the
+// measured kernel ("godunov", "efm", "states"; an absent axis keeps the
+// base kernel).
 func scenarioSweepConfig(base SweepConfig, sc campaign.Scenario) (SweepConfig, error) {
 	cfg := base
 	cfg.World = sc.World
-	switch sc.Flux {
+	switch flux := sc.Label(campaign.AxisFlux); flux {
 	case "":
 	case "godunov":
 		cfg.Kernel = KernelGodunov
@@ -184,28 +184,33 @@ func scenarioSweepConfig(base SweepConfig, sc campaign.Scenario) (SweepConfig, e
 	case "states":
 		cfg.Kernel = KernelStates
 	default:
-		return cfg, fmt.Errorf("harness: unknown flux dimension %q in scenario %q", sc.Flux, sc.Key)
+		return cfg, fmt.Errorf("harness: unknown flux dimension %q in scenario %q", flux, sc.Key)
 	}
 	return cfg, nil
 }
 
 // CaseScenarioConfig specializes a case-study config to one grid scenario:
-// the scenario's world plus the app-level dimensions — mesh size sets the
-// base grid, flux choice selects the assembly's flux implementation.
+// the scenario's world plus the app-level axes — the mesh coordinate sets
+// the base grid, the flux coordinate selects the assembly's flux
+// implementation.
 func CaseScenarioConfig(base CaseStudyConfig, sc campaign.Scenario) (CaseStudyConfig, error) {
 	cfg := base
 	cfg.World = sc.World
-	if sc.Mesh != (campaign.MeshSize{}) {
-		cfg.App.Mesh.BaseNx, cfg.App.Mesh.BaseNy = sc.Mesh.Nx, sc.Mesh.Ny
+	if c, ok := sc.Coord(campaign.AxisMesh); ok {
+		mesh, isMesh := c.Value.(campaign.MeshSize)
+		if !isMesh {
+			return cfg, fmt.Errorf("harness: mesh axis value %T in scenario %q, want campaign.MeshSize", c.Value, sc.Key)
+		}
+		cfg.App.Mesh.BaseNx, cfg.App.Mesh.BaseNy = mesh.Nx, mesh.Ny
 	}
-	switch sc.Flux {
+	switch flux := sc.Label(campaign.AxisFlux); flux {
 	case "":
 	case "godunov":
 		cfg.App.Flux = components.Godunov
 	case "efm":
 		cfg.App.Flux = components.EFM
 	default:
-		return cfg, fmt.Errorf("harness: unknown flux dimension %q in scenario %q", sc.Flux, sc.Key)
+		return cfg, fmt.Errorf("harness: unknown flux dimension %q in scenario %q", flux, sc.Key)
 	}
 	return cfg, nil
 }
@@ -236,7 +241,10 @@ type GridSweep struct {
 // point corresponds to the i-th expanded scenario. Each GridSweep buffers
 // its whole SweepResult; for grids too large for that, use StreamSweepGrid.
 func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g campaign.Grid) ([]GridSweep, error) {
-	scs := g.Scenarios()
+	scs, err := g.Scenarios()
+	if err != nil {
+		return nil, err
+	}
 	jobs := make([]campaign.Job, len(scs))
 	for i, sc := range scs {
 		sc := sc
@@ -249,6 +257,9 @@ func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g c
 				if err != nil {
 					return nil, err
 				}
+				// Trust the current expansion for the coordinates; stored
+				// payloads may predate the Dimension redesign.
+				gs.Scenario = sc
 				return gs, replayRows(ctx, sc.Key, gs.Result.Rows())
 			},
 			Run: func(ctx context.Context, _ map[string]any) (any, error) {

@@ -82,7 +82,7 @@ func TestRunSweepGrid(t *testing.T) {
 	base := tinySweep(KernelStates)
 	g := campaign.Grid{
 		Base:         base.World,
-		CacheKBs:     []int{128, 512},
+		Axes:         []campaign.Dimension{campaign.CacheAxis(128, 512)},
 		Replications: 2,
 		BaseSeed:     7,
 	}
@@ -101,7 +101,10 @@ func TestRunSweepGrid(t *testing.T) {
 	if !reflect.DeepEqual(one, many) {
 		t.Error("grid study differs between 1 and 4 workers")
 	}
-	scs := g.Scenarios()
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, p := range one {
 		if p.Scenario.Key != scs[i].Key {
 			t.Errorf("point %d key %s, want %s", i, p.Scenario.Key, scs[i].Key)

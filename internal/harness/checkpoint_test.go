@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -125,7 +126,7 @@ func TestStreamGridInterruptResumeByteIdentical(t *testing.T) {
 	base := tinySweep(KernelStates)
 	grid := campaign.Grid{
 		Base:     base.World,
-		CacheKBs: []int{128, 512},
+		Axes:     []campaign.Dimension{campaign.CacheAxis(128, 512)},
 		BaseSeed: 1,
 	}
 
@@ -137,7 +138,10 @@ func TestStreamGridInterruptResumeByteIdentical(t *testing.T) {
 		defer sink.Close()
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		jobs := StreamJobs(base, grid)
+		jobs, err := StreamJobs(base, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if interrupt {
 			// The second scenario dies mid-run, as if the process were
 			// killed after the first checkpointed: it cancels the campaign
@@ -216,11 +220,11 @@ func TestStreamGridInterruptResumeByteIdentical(t *testing.T) {
 		}
 	}
 	var refTrend, resumeTrend bytes.Buffer
-	refReports, err := BuildTrends(refPts)
+	refReports, err := BuildTrends(refPts, TrendCacheKB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumeReports, err := BuildTrends(resumePts)
+	resumeReports, err := BuildTrends(resumePts, TrendCacheKB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +249,7 @@ func TestStreamSweepGridEmitsRowsAndTrend(t *testing.T) {
 	base := tinySweep(KernelStates)
 	grid := campaign.Grid{
 		Base:     base.World,
-		CacheKBs: []int{128, 512},
+		Axes:     []campaign.Dimension{campaign.CacheAxis(128, 512)},
 		BaseSeed: 1,
 	}
 	sink := results.NewMemorySink()
@@ -269,7 +273,7 @@ func TestStreamSweepGridEmitsRowsAndTrend(t *testing.T) {
 		}
 	}
 
-	reports, err := BuildTrends(pts)
+	reports, err := BuildTrends(pts, TrendCacheKB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,27 +302,43 @@ func TestStreamSweepGridEmitsRowsAndTrend(t *testing.T) {
 		t.Errorf("trend report: %q", txt.String())
 	}
 
-	// Too few cache sizes to fit a trend is a loud error.
-	if _, err := BuildTrends(pts[:1]); err == nil {
+	// Too few cache sizes to fit a trend is a loud error, as is fitting
+	// against an axis the grid never swept.
+	if _, err := BuildTrends(pts[:1], TrendCacheKB); err == nil {
 		t.Error("single-cache trend succeeded")
+	}
+	if _, err := BuildTrends(pts, TrendByAxis("nonexistent")); err == nil {
+		t.Error("trend against an unswept axis succeeded")
 	}
 }
 
-// TestScenarioConfigMapping checks the app-level grid dimensions reach the
-// harness configs.
+// fluxScenario builds a bare scenario carrying only a flux coordinate.
+func fluxScenario(flux string) campaign.Scenario {
+	return campaign.Scenario{
+		Key:    "flux-only",
+		Coords: []campaign.Coord{{Axis: campaign.AxisFlux, Key: flux, Value: flux}},
+	}
+}
+
+// TestScenarioConfigMapping checks the app-level grid axes reach the
+// harness configs through their coordinates.
 func TestScenarioConfigMapping(t *testing.T) {
 	t.Parallel()
 	base := tinySweep(KernelStates)
 	sc := campaign.Scenario{
 		Key: "p2/base/c128kB/m64x32/efm/r0", World: base.World,
-		CacheKB: 128, Mesh: campaign.MeshSize{Nx: 64, Ny: 32}, Flux: "efm",
+		Coords: []campaign.Coord{
+			{Axis: campaign.AxisCache, Key: "c128kB", Value: 128},
+			{Axis: campaign.AxisMesh, Key: "m64x32", Value: campaign.MeshSize{Nx: 64, Ny: 32}},
+			{Axis: campaign.AxisFlux, Key: "efm", Value: "efm"},
+		},
 	}
 	sw, err := scenarioSweepConfig(base, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sw.Kernel != KernelEFM {
-		t.Errorf("flux dim did not select kernel: %s", sw.Kernel)
+		t.Errorf("flux axis did not select kernel: %s", sw.Kernel)
 	}
 	caseBase := DefaultCaseStudy()
 	cs, err := CaseScenarioConfig(caseBase, sc)
@@ -326,25 +346,107 @@ func TestScenarioConfigMapping(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cs.App.Mesh.BaseNx != 64 || cs.App.Mesh.BaseNy != 32 {
-		t.Errorf("mesh dim not applied: %+v", cs.App.Mesh)
+		t.Errorf("mesh axis not applied: %+v", cs.App.Mesh)
 	}
 	if cs.App.Flux != components.EFM {
-		t.Errorf("flux dim not applied: %v", cs.App.Flux)
+		t.Errorf("flux axis not applied: %v", cs.App.Flux)
 	}
 
-	if _, err := scenarioSweepConfig(base, campaign.Scenario{Flux: "nonsense"}); err == nil {
+	if _, err := scenarioSweepConfig(base, fluxScenario("nonsense")); err == nil {
 		t.Error("unknown flux accepted by sweep mapping")
 	}
-	if _, err := CaseScenarioConfig(caseBase, campaign.Scenario{Flux: "states"}); err == nil {
+	if _, err := CaseScenarioConfig(caseBase, fluxScenario("states")); err == nil {
 		t.Error("states flux accepted by case mapping")
 	}
 
-	// Unswept dims keep the base config.
+	// A scenario without app-level coordinates keeps the base config.
 	plain, err := CaseScenarioConfig(caseBase, campaign.Scenario{World: base.World})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plain.App.Mesh.BaseNx != caseBase.App.Mesh.BaseNx || plain.App.Flux != caseBase.App.Flux {
-		t.Errorf("unswept dims perturbed the config")
+		t.Errorf("unswept axes perturbed the config")
+	}
+}
+
+// TestCPUGridInterruptResume runs the satellite resume guarantee on the
+// new machine axis: a CPU-axis grid interrupted mid-run resumes against
+// the same store (the existing on-disk format) re-executing only the
+// unfinished scenario, with points identical to an uninterrupted run.
+func TestCPUGridInterruptResume(t *testing.T) {
+	t.Parallel()
+	base := tinySweep(KernelStates)
+	grid := campaign.Grid{
+		Base:     base.World,
+		Axes:     []campaign.Dimension{campaign.CPUClockAxis(1, 2)},
+		BaseSeed: 1,
+	}
+
+	run := func(st campaign.Store, interrupt bool) ([]GridPoint, []campaign.Event, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		jobs, err := StreamJobs(base, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if interrupt {
+			jobs[1].Run = func(ctx context.Context, _ map[string]any) (any, error) {
+				cancel()
+				return nil, ctx.Err()
+			}
+		}
+		var events []campaign.Event
+		res, err := campaign.Run(ctx, campaign.Config{
+			Workers: 1, Store: st,
+			OnProgress: func(e campaign.Event) { events = append(events, e) },
+		}, jobs)
+		if err != nil {
+			return nil, events, err
+		}
+		pts := make([]GridPoint, len(res))
+		for i, r := range res {
+			pts[i] = r.Value.(GridPoint)
+		}
+		return pts, events, nil
+	}
+
+	refStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPts, _, err := run(refStore, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refPts[0].Scenario.Key != "p2/base/c512kB/cpu1x/r0" {
+		t.Fatalf("unexpected first key %s", refPts[0].Scenario.Key)
+	}
+	// The doubled clock halves compute time; the fitted models must differ.
+	if reflect.DeepEqual(refPts[0].Model, refPts[1].Model) {
+		t.Error("clock scale did not move the fitted model")
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run(st, true); err == nil {
+		t.Fatal("interrupted CPU grid reported success")
+	}
+	resumePts, events, err := run(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached int
+	for _, e := range events {
+		if e.Cached {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Errorf("resume replayed %d checkpoints, want 1", cached)
+	}
+	if !reflect.DeepEqual(refPts, resumePts) {
+		t.Error("resumed CPU grid points differ from uninterrupted run")
 	}
 }

@@ -52,6 +52,11 @@ func StreamJob(base SweepConfig, sc campaign.Scenario) campaign.Job {
 			if err != nil {
 				return nil, err
 			}
+			// The scenario comes from the current expansion, not the stored
+			// payload: the store matched on (key, hash), so it is the same
+			// point, and payloads written before the Dimension redesign
+			// carry scenarios without coordinates.
+			ck.Point.Scenario = sc
 			return ck.Point, replayRows(ctx, sc.Key, ck.Rows)
 		},
 		Run: func(ctx context.Context, _ map[string]any) (any, error) {
@@ -77,13 +82,16 @@ func StreamJob(base SweepConfig, sc campaign.Scenario) campaign.Job {
 }
 
 // StreamJobs expands a grid into one StreamJob per scenario.
-func StreamJobs(base SweepConfig, g campaign.Grid) []campaign.Job {
-	scs := g.Scenarios()
+func StreamJobs(base SweepConfig, g campaign.Grid) ([]campaign.Job, error) {
+	scs, err := g.Scenarios()
+	if err != nil {
+		return nil, err
+	}
 	jobs := make([]campaign.Job, len(scs))
 	for i, sc := range scs {
 		jobs[i] = StreamJob(base, sc)
 	}
-	return jobs
+	return jobs, nil
 }
 
 // StreamSweepGrid runs a scenario grid with streaming results: each
@@ -93,7 +101,11 @@ func StreamJobs(base SweepConfig, g campaign.Grid) []campaign.Job {
 // scenarios and replays the finished ones' rows from the store, so the
 // sink output is identical to an uninterrupted run.
 func StreamSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g campaign.Grid) ([]GridPoint, error) {
-	res, err := campaign.Run(ctx, cc, StreamJobs(base, g))
+	jobs, err := StreamJobs(base, g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := campaign.Run(ctx, cc, jobs)
 	if err != nil {
 		return nil, err
 	}

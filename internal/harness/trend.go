@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/campaign"
+	"repro/internal/mpi"
 	"repro/internal/perfmodel"
 	"repro/internal/results"
 )
@@ -13,16 +15,107 @@ import (
 // This file is the cross-scenario analysis the paper's Section 6 sketches:
 // "Ideally, the coefficients should be parameterized by processor speed
 // and a cache model." A streaming grid run produces one fitted model per
-// (cache size, replication); the trend report averages the model
-// coefficients per cache size and fits each coefficient against the cache
-// size itself, showing the functional form staying put while the
-// coefficients move — and giving a first-order predictor for machines the
+// scenario; the trend report averages the model coefficients per value of
+// a chosen numeric axis — cache size, CPU clock scale, rank count, mesh
+// cells, or any user-defined numeric dimension — and fits each coefficient
+// against that axis, showing the functional form staying put while the
+// coefficients move, and giving a first-order predictor for machines the
 // sweep never ran on.
 
-// TrendPoint is one cache size's averaged model coefficients.
+// TrendAxis selects the numeric grid dimension a trend report fits model
+// coefficients against.
+type TrendAxis struct {
+	// Name is the stable axis identifier: the CSV x-column header and the
+	// -axis flag value ("cache_kb", "cpu_clock", "ranks", "mesh_cells").
+	Name string
+	// Col is the x column label of the text report ("C_kB").
+	Col string
+	// Var is the variable letter trend-fit formulas are rendered with
+	// (the underlying perfmodel models print their parameter as Q).
+	Var string
+	// Desc describes the axis in the text report heading.
+	Desc string
+	// Value extracts a scenario's numeric x coordinate; ok is false when
+	// the scenario's grid does not carry the axis.
+	Value func(campaign.Scenario) (float64, bool)
+}
+
+// The built-in trend axes. TrendCacheKB reproduces the original
+// coefficient-vs-cache-size report byte for byte.
+var (
+	TrendCacheKB = TrendAxis{
+		Name: "cache_kb", Col: "C_kB", Var: "C", Desc: "cache size (C in kB)",
+		Value: func(sc campaign.Scenario) (float64, bool) { return sc.Num(campaign.AxisCache) },
+	}
+	TrendCPUClock = TrendAxis{
+		Name: "cpu_clock", Col: "K", Var: "K", Desc: "CPU clock scale (K x calibrated)",
+		Value: func(sc campaign.Scenario) (float64, bool) {
+			c, ok := sc.Coord(campaign.AxisCPU)
+			if !ok {
+				return 0, false
+			}
+			t, ok := c.Value.(mpi.CPUTune)
+			if !ok {
+				return 0, false
+			}
+			if t.ClockScale == 0 {
+				return 1, true
+			}
+			return t.ClockScale, true
+		},
+	}
+	TrendRanks = TrendAxis{
+		Name: "ranks", Col: "P", Var: "P", Desc: "world size (P ranks)",
+		Value: func(sc campaign.Scenario) (float64, bool) { return sc.Num(campaign.AxisRank) },
+	}
+	TrendMeshCells = TrendAxis{
+		Name: "mesh_cells", Col: "M", Var: "M", Desc: "base mesh size (M cells)",
+		Value: func(sc campaign.Scenario) (float64, bool) {
+			c, ok := sc.Coord(campaign.AxisMesh)
+			if !ok {
+				return 0, false
+			}
+			m, ok := c.Value.(campaign.MeshSize)
+			if !ok {
+				return 0, false
+			}
+			return float64(m.Nx) * float64(m.Ny), true
+		},
+	}
+)
+
+// TrendByAxis builds a selector for any numeric user-defined dimension:
+// the x value is the axis's numeric coordinate payload.
+func TrendByAxis(axis string) TrendAxis {
+	return TrendAxis{
+		Name: axis, Col: axis, Var: "X", Desc: fmt.Sprintf("grid axis %q (X)", axis),
+		Value: func(sc campaign.Scenario) (float64, bool) { return sc.Num(axis) },
+	}
+}
+
+// TrendAxisNamed resolves a -axis flag value to a trend axis: one of the
+// built-in names, or any other name as a numeric user-defined axis.
+func TrendAxisNamed(name string) (TrendAxis, error) {
+	switch name {
+	case "", TrendCacheKB.Name:
+		return TrendCacheKB, nil
+	case TrendCPUClock.Name:
+		return TrendCPUClock, nil
+	case TrendRanks.Name:
+		return TrendRanks, nil
+	case TrendMeshCells.Name:
+		return TrendMeshCells, nil
+	}
+	if axis, ok := strings.CutPrefix(name, "axis:"); ok {
+		return TrendByAxis(axis), nil
+	}
+	return TrendAxis{}, fmt.Errorf("harness: unknown trend axis %q (want cache_kb, cpu_clock, ranks, mesh_cells, or axis:<name> for a numeric user-defined dimension)", name)
+}
+
+// TrendPoint is one axis value's averaged model coefficients.
 type TrendPoint struct {
-	// CacheKB is the scenario cache capacity.
-	CacheKB int
+	// X is the trend axis coordinate (cache kB, clock scale, ...).
+	X float64
 	// N counts the grid points (replications and other collapsed
 	// dimensions) averaged into the coefficients.
 	N int
@@ -31,11 +124,11 @@ type TrendPoint struct {
 	Coeffs []float64
 }
 
-// TrendFit is one coefficient's fitted trend against cache size.
+// TrendFit is one coefficient's fitted trend against the axis.
 type TrendFit struct {
 	// Coeff names the coefficient ("lnA", "B", "c0", "c1", ...).
 	Coeff string
-	// Model predicts the coefficient from the cache size in kB. It is the
+	// Model predicts the coefficient from the axis value. It is the
 	// AIC-best of a linear and (when the values admit one) a power-law
 	// candidate.
 	Model perfmodel.Model
@@ -43,24 +136,26 @@ type TrendFit struct {
 	R2 float64
 }
 
-// TrendReport is one kernel's coefficient-vs-cache-size analysis.
+// TrendReport is one kernel's coefficient-vs-axis analysis.
 type TrendReport struct {
 	// Kernel is the measured component.
 	Kernel Kernel
+	// Axis is the swept dimension the coefficients are fitted against.
+	Axis TrendAxis
 	// CoeffNames labels the fitted model's coefficients.
 	CoeffNames []string
-	// Points holds the per-cache-size averaged coefficients, ascending.
+	// Points holds the per-axis-value averaged coefficients, ascending.
 	Points []TrendPoint
 	// Fits holds one trend fit per coefficient, aligned with CoeffNames.
 	Fits []TrendFit
 }
 
 // BuildTrends groups grid points by kernel and fits every mean-model
-// coefficient against the cache-size dimension. Each kernel needs at least
-// two distinct cache sizes; replications (and any other collapsed
-// dimensions) are averaged per cache size first, mirroring the paper's
-// group-then-fit regression style.
-func BuildTrends(points []GridPoint) ([]*TrendReport, error) {
+// coefficient against the chosen axis. Each kernel needs at least two
+// distinct axis values; replications (and any other collapsed dimensions)
+// are averaged per axis value first, mirroring the paper's group-then-fit
+// regression style.
+func BuildTrends(points []GridPoint, axis TrendAxis) ([]*TrendReport, error) {
 	byKernel := map[Kernel][]GridPoint{}
 	var order []Kernel
 	for _, p := range points {
@@ -71,7 +166,7 @@ func BuildTrends(points []GridPoint) ([]*TrendReport, error) {
 	}
 	reports := make([]*TrendReport, 0, len(order))
 	for _, k := range order {
-		r, err := buildTrend(k, byKernel[k])
+		r, err := buildTrend(k, axis, byKernel[k])
 		if err != nil {
 			return nil, err
 		}
@@ -81,16 +176,20 @@ func BuildTrends(points []GridPoint) ([]*TrendReport, error) {
 }
 
 // buildTrend is BuildTrends for one kernel's points.
-func buildTrend(kernel Kernel, points []GridPoint) (*TrendReport, error) {
-	report := &TrendReport{Kernel: kernel}
+func buildTrend(kernel Kernel, axis TrendAxis, points []GridPoint) (*TrendReport, error) {
+	report := &TrendReport{Kernel: kernel, Axis: axis}
 	type acc struct {
 		n    int
 		sums []float64
 	}
-	byCache := map[int]*acc{}
+	byX := map[float64]*acc{}
 	for _, p := range points {
 		if p.Model == nil {
 			return nil, fmt.Errorf("harness: trend: grid point %q has no model", p.Scenario.Key)
+		}
+		xv, ok := axis.Value(p.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("harness: trend: scenario %q has no numeric %s coordinate", p.Scenario.Key, axis.Name)
 		}
 		names, values := perfmodel.Coefficients(p.Model.Mean)
 		if len(names) == 0 {
@@ -103,36 +202,36 @@ func buildTrend(kernel Kernel, points []GridPoint) (*TrendReport, error) {
 			return nil, fmt.Errorf("harness: trend: %s grid mixes model forms (%d vs %d coefficients)",
 				kernel, len(values), len(report.CoeffNames))
 		}
-		a := byCache[p.Scenario.CacheKB]
+		a := byX[xv]
 		if a == nil {
 			a = &acc{sums: make([]float64, len(values))}
-			byCache[p.Scenario.CacheKB] = a
+			byX[xv] = a
 		}
 		a.n++
 		for i, v := range values {
 			a.sums[i] += v
 		}
 	}
-	if len(byCache) < 2 {
-		return nil, fmt.Errorf("harness: trend: %s grid has %d cache size(s), need >= 2", kernel, len(byCache))
+	if len(byX) < 2 {
+		return nil, fmt.Errorf("harness: trend: %s grid has %d distinct %s value(s), need >= 2", kernel, len(byX), axis.Name)
 	}
-	caches := make([]int, 0, len(byCache))
-	for kb := range byCache {
-		caches = append(caches, kb)
+	xs := make([]float64, 0, len(byX))
+	for xv := range byX {
+		xs = append(xs, xv)
 	}
-	sort.Ints(caches)
-	for _, kb := range caches {
-		a := byCache[kb]
+	sort.Float64s(xs)
+	for _, xv := range xs {
+		a := byX[xv]
 		coeffs := make([]float64, len(a.sums))
 		for i, s := range a.sums {
 			coeffs[i] = s / float64(a.n)
 		}
-		report.Points = append(report.Points, TrendPoint{CacheKB: kb, N: a.n, Coeffs: coeffs})
+		report.Points = append(report.Points, TrendPoint{X: xv, N: a.n, Coeffs: coeffs})
 	}
 
 	x := make([]float64, len(report.Points))
 	for i, p := range report.Points {
-		x[i] = float64(p.CacheKB)
+		x[i] = p.X
 	}
 	for ci, name := range report.CoeffNames {
 		y := make([]float64, len(report.Points))
@@ -157,30 +256,30 @@ func buildTrend(kernel Kernel, points []GridPoint) (*TrendReport, error) {
 	return report, nil
 }
 
-// trendModelString renders a trend fit with C (cache kB) as the variable —
-// the underlying perfmodel models print their parameter as Q.
-func trendModelString(m perfmodel.Model) string {
-	return strings.ReplaceAll(m.String(), "Q", "C")
+// trendModelString renders a trend fit with the axis variable letter — the
+// underlying perfmodel models print their parameter as Q.
+func trendModelString(m perfmodel.Model, axis TrendAxis) string {
+	return strings.ReplaceAll(m.String(), "Q", axis.Var)
 }
 
 // WriteTrendCSV writes the reports as one long-format CSV: one row per
-// (kernel, cache size, coefficient) with the averaged value and the trend
-// fit's prediction.
+// (kernel, axis value, coefficient) with the averaged value and the trend
+// fit's prediction. The x column is named after the axis ("cache_kb").
 func WriteTrendCSV(w io.Writer, reports []*TrendReport) error {
 	enc := results.NewCSVEncoder(w)
-	if err := enc.Header("kernel", "cache_kb", "n", "coeff", "value", "trend_fit"); err != nil {
-		return err
-	}
 	for _, r := range reports {
+		if err := enc.Header("kernel", r.Axis.Name, "n", "coeff", "value", "trend_fit"); err != nil {
+			return err
+		}
 		for _, p := range r.Points {
 			for ci, name := range r.CoeffNames {
 				if err := enc.Encode(results.Row{
 					results.F("kernel", string(r.Kernel)),
-					results.F("cache_kb", p.CacheKB),
+					results.F(r.Axis.Name, p.X),
 					results.F("n", p.N),
 					results.F("coeff", name),
 					results.F("value", p.Coeffs[ci]),
-					results.F("trend_fit", r.Fits[ci].Model.Predict(float64(p.CacheKB))),
+					results.F("trend_fit", r.Fits[ci].Model.Predict(p.X)),
 				}); err != nil {
 					return err
 				}
@@ -191,8 +290,8 @@ func WriteTrendCSV(w io.Writer, reports []*TrendReport) error {
 }
 
 // WriteTrendReport prints the human-readable trend analysis: per kernel,
-// the fitted coefficient-vs-cache-size models and the averaged points they
-// came from.
+// the fitted coefficient-vs-axis models and the averaged points they came
+// from.
 func WriteTrendReport(w io.Writer, reports []*TrendReport) error {
 	for ri, r := range reports {
 		if ri > 0 {
@@ -200,20 +299,20 @@ func WriteTrendReport(w io.Writer, reports []*TrendReport) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "trend for %s: mean-model coefficients vs cache size (C in kB)\n",
-			r.Kernel.RecordName()); err != nil {
+		if _, err := fmt.Fprintf(w, "trend for %s: mean-model coefficients vs %s\n",
+			r.Kernel.RecordName(), r.Axis.Desc); err != nil {
 			return err
 		}
 		for _, f := range r.Fits {
-			fmt.Fprintf(w, "  %-4s(C) = %-40s [R2=%.4f]\n", f.Coeff, trendModelString(f.Model), f.R2)
+			fmt.Fprintf(w, "  %-4s(%s) = %-40s [R2=%.4f]\n", f.Coeff, r.Axis.Var, trendModelString(f.Model, r.Axis), f.R2)
 		}
-		fmt.Fprintf(w, "  %8s %4s", "C_kB", "n")
+		fmt.Fprintf(w, "  %8s %4s", r.Axis.Col, "n")
 		for _, name := range r.CoeffNames {
 			fmt.Fprintf(w, " %14s", name)
 		}
 		fmt.Fprintln(w)
 		for _, p := range r.Points {
-			fmt.Fprintf(w, "  %8d %4d", p.CacheKB, p.N)
+			fmt.Fprintf(w, "  %8g %4d", p.X, p.N)
 			for _, c := range p.Coeffs {
 				fmt.Fprintf(w, " %14.6g", c)
 			}

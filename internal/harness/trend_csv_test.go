@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// TestWriteTrendCSVMultiKernelSingleHeader pins the long-format CSV
+// contract: several kernels' reports share one file with exactly one
+// header line (the encoder writes it once), matching the pre-TrendAxis
+// output byte for byte.
+func TestWriteTrendCSVMultiKernelSingleHeader(t *testing.T) {
+	t.Parallel()
+	mk := func(k Kernel) *TrendReport {
+		lin, err := perfmodel.LinFit([]float64{1, 2}, []float64{3, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &TrendReport{
+			Kernel: k, Axis: TrendCacheKB,
+			CoeffNames: []string{"c0"},
+			Points:     []TrendPoint{{X: 128, N: 1, Coeffs: []float64{3}}, {X: 512, N: 1, Coeffs: []float64{5}}},
+			Fits:       []TrendFit{{Coeff: "c0", Model: lin}},
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTrendCSV(&sb, []*TrendReport{mk(KernelStates), mk(KernelEFM)}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "kernel,cache_kb,n,coeff,value,trend_fit"); n != 1 {
+		t.Errorf("%d header lines, want 1:\n%s", n, out)
+	}
+	if !strings.HasPrefix(out, "kernel,cache_kb,n,coeff,value,trend_fit\n") {
+		t.Errorf("missing leading header:\n%s", out)
+	}
+	if !strings.Contains(out, "\nefm,128,1,c0,") {
+		t.Errorf("second kernel's rows missing:\n%s", out)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
+	"strings"
 	"sync"
 
 	"repro/internal/cache"
@@ -38,6 +39,46 @@ const (
 	stBlocked
 	stDone
 )
+
+// CPUTune scales the per-rank CPU model relative to its calibrated base —
+// the paper's Section 6 "parameterized by processor speed and a cache
+// model" machine knobs, exposed as campaign grid dimensions. Every field
+// is a multiplier; the zero value (and 1.0) leaves the calibrated model
+// bit-for-bit unchanged.
+type CPUTune struct {
+	// ClockScale multiplies the core clock (2.0 simulates a CPU twice as
+	// fast as the paper's 2.8 GHz Xeon). Zero means 1.
+	ClockScale float64
+	// HitScale multiplies the cache-hit cycle cost. Zero means 1.
+	HitScale float64
+	// MissScale multiplies the cache-miss (memory) penalty — a crude DRAM
+	// speed knob. Zero means 1.
+	MissScale float64
+}
+
+// IsZero reports whether the tune leaves the CPU model untouched.
+func (t CPUTune) IsZero() bool { return t == CPUTune{} }
+
+// orOne maps the zero value of a multiplier knob to 1.
+func orOne(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// Apply returns the CPU model with the tune's scales applied. A zero tune
+// returns m unchanged (no arithmetic at all, so calibrated timings stay
+// bit-for-bit identical).
+func (t CPUTune) Apply(m platform.CPUModel) platform.CPUModel {
+	if t.IsZero() {
+		return m
+	}
+	m.ClockGHz *= orOne(t.ClockScale)
+	m.HitCycles *= orOne(t.HitScale)
+	m.MissCycles *= orOne(t.MissScale)
+	return m
+}
 
 // WorldConfig assembles the simulated machine: P ranks, each with the given
 // CPU and cache, connected by the given network.
@@ -57,6 +98,39 @@ type WorldConfig struct {
 	// get defaults matching the Fig. 3 magnitudes.
 	InitUS     float64
 	FinalizeUS float64
+	// Tune scales the CPU model (clock, hit/miss penalties) relative to
+	// its calibrated base. The zero value changes nothing.
+	Tune CPUTune
+}
+
+// legacyWorldConfig mirrors WorldConfig's pre-Tune field set. GoString
+// renders through it so configurations that do not use the CPU tune keep
+// the exact %#v bytes they had before the field existed — campaign
+// checkpoint hashes are SHA-256 digests of that rendering, and stored
+// payloads from earlier runs must stay addressable.
+type legacyWorldConfig struct {
+	Procs      int
+	CPU        platform.CPUModel
+	Cache      cache.Config
+	Net        netmodel.Model
+	Seed       int64
+	InitUS     float64
+	FinalizeUS float64
+}
+
+// GoString implements fmt.GoStringer (%#v). A zero Tune renders exactly
+// like the pre-Tune WorldConfig; a non-zero Tune appends a Tune field, so
+// tuned machines hash distinctly.
+func (c WorldConfig) GoString() string {
+	legacy := legacyWorldConfig{
+		Procs: c.Procs, CPU: c.CPU, Cache: c.Cache, Net: c.Net,
+		Seed: c.Seed, InitUS: c.InitUS, FinalizeUS: c.FinalizeUS,
+	}
+	s := "mpi.WorldConfig" + strings.TrimPrefix(fmt.Sprintf("%#v", legacy), "mpi.legacyWorldConfig")
+	if !c.Tune.IsZero() {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", Tune:%#v}", c.Tune)
+	}
+	return s
 }
 
 // DefaultConfig returns the paper-calibrated 3-rank world.
@@ -153,8 +227,9 @@ func NewWorld(cfg WorldConfig) *World {
 	for i := range group {
 		group[i] = i
 	}
+	cpu := cfg.Tune.Apply(cfg.CPU)
 	for i := 0; i < cfg.Procs; i++ {
-		proc := platform.NewProc(i, cfg.CPU, cfg.Cache, cfg.Seed)
+		proc := platform.NewProc(i, cpu, cfg.Cache, cfg.Seed)
 		prof := tau.NewProfile(proc.Now)
 		prof.RegisterMetric("PAPI_L2_DCM", func() float64 { return float64(proc.Counters().L2DCM) })
 		prof.RegisterMetric("PAPI_FP_OPS", func() float64 { return float64(proc.Counters().FPOps) })
