@@ -74,6 +74,13 @@ type (
 	// CPUTune scales the simulated CPU model (clock, hit/miss penalties);
 	// the zero value leaves calibrated timings bit-for-bit unchanged.
 	CPUTune = mpi.CPUTune
+	// SchedulerMode selects how a simulated world schedules its ranks: the
+	// zero value is the serial token scheduler; ConservativeParallel runs
+	// rank compute concurrently with bit-for-bit identical results.
+	SchedulerMode = mpi.SchedulerMode
+	// SchedChoice is one value of the scheduler grid axis: a mode plus its
+	// parallel-rank cap.
+	SchedChoice = campaign.SchedChoice
 	// GridSweep is one grid scenario's sweep result and fitted model.
 	GridSweep = harness.GridSweep
 	// GridPoint is one streamed grid scenario's distilled outcome
@@ -126,6 +133,15 @@ const (
 	KernelStates  = harness.KernelStates
 	KernelGodunov = harness.KernelGodunov
 	KernelEFM     = harness.KernelEFM
+)
+
+// Scheduler modes for WorldConfig.Sched: the serial token scheduler (the
+// zero value) and the conservative parallel-rank scheduler, which runs
+// rank compute segments concurrently while producing bit-for-bit identical
+// profiles, clocks and outputs.
+const (
+	SchedSerial               = mpi.Serial
+	SchedConservativeParallel = mpi.ConservativeParallel
 )
 
 // DefaultCaseStudy returns the calibrated paper configuration (3 ranks,
@@ -249,6 +265,15 @@ func CPUAxis(tunes ...CPUTune) Dimension    { return campaign.CPUAxis(tunes...) 
 func CPUClockAxis(s ...float64) Dimension   { return campaign.CPUClockAxis(s...) }
 func MeshAxis(meshes ...MeshSize) Dimension { return campaign.MeshAxis(meshes...) }
 func FluxAxis(fluxes ...string) Dimension   { return campaign.FluxAxis(fluxes...) }
+
+// SchedAxis and SchedModeAxis sweep the rank scheduler (serial vs
+// conservative parallel). The axis is seed-inert: scenarios differing only
+// in scheduler share a derived seed, so a grid can verify at scale that
+// the parallel scheduler reproduces serial results bit for bit.
+func SchedAxis(choices ...SchedChoice) Dimension { return campaign.SchedAxis(choices...) }
+func SchedModeAxis(modes ...SchedulerMode) Dimension {
+	return campaign.SchedModeAxis(modes...)
+}
 
 // TrendByAxis builds a trend selector for any numeric user-defined grid
 // dimension; TrendAxisNamed resolves a flag-style axis name.

@@ -8,6 +8,7 @@ package repro
 // microseconds on the simulated platform.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -295,6 +296,73 @@ func BenchmarkEq2StddevModels(b *testing.B) {
 			sgG += g.StdDev
 		}
 		b.ReportMetric(sgE/sgG, "efm/godunov-sigma")
+	}
+}
+
+// --- Scheduler benchmarks (serial vs conservative parallel) ---
+
+// benchComputeBody is a non-communicating compute segment: real euler
+// kernel work (States + EFMFlux sweeps) charged to the rank's platform,
+// with no MPI between start and finish. This is the workload where the
+// conservative parallel scheduler's rank concurrency pays off linearly in
+// available cores; on a 1-core host the two schedulers tie.
+func benchComputeBody(r *mpi.Rank) {
+	proc := r.Proc
+	const nx, ny = 96, 48
+	blk := euler.NewBlock(proc, nx, ny, 2)
+	pr := euler.DefaultShockInterface()
+	pr.InitBlock(blk, 0, 0, pr.Lx/nx, pr.Ly/ny)
+	blk.FillBoundary(true, true, true, true)
+	qL := euler.NewEdgeField(proc, nx, ny, euler.X)
+	qR := euler.NewEdgeField(proc, nx, ny, euler.X)
+	fl := euler.NewEdgeField(proc, nx, ny, euler.X)
+	for i := 0; i < 20; i++ {
+		euler.States(proc, blk, euler.X, qL, qR)
+		euler.EFMFlux(proc, qL, qR, fl)
+	}
+}
+
+// BenchmarkWorldRun compares the serial token scheduler against the
+// conservative parallel scheduler at 4/8/16 ranks, on a pure compute
+// segment and on the Fig. 3 profile workload (the full component
+// application with ghost exchanges). Virtual results are bit-identical by
+// design — the reported wall-clock ratio is the whole point: on a >= 4
+// core host the compute segment runs >= 2x faster at 8+ ranks under
+// "par", because rank compute executes concurrently while shared-state
+// commits replay the serial order.
+func BenchmarkWorldRun(b *testing.B) {
+	modes := []mpi.SchedulerMode{mpi.Serial, mpi.ConservativeParallel}
+	for _, p := range []int{4, 8, 16} {
+		for _, mode := range modes {
+			p, mode := p, mode
+			b.Run(fmt.Sprintf("compute/p%d/%s", p, mode), func(b *testing.B) {
+				cfg := mpi.DefaultConfig()
+				cfg.Procs = p
+				cfg.Sched = mode
+				for i := 0; i < b.N; i++ {
+					w := mpi.NewWorld(cfg)
+					if err := w.Run(benchComputeBody); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run("fig3profile/"+mode.String(), func(b *testing.B) {
+			cfg := benchCaseConfig()
+			cfg.World.Sched = mode
+			var share float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunCaseStudy(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				share = res.TimerShare("MPI_Waitsome()")
+			}
+			b.ReportMetric(share*100, "%waitsome")
+		})
 	}
 }
 

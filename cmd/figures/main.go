@@ -42,6 +42,7 @@ import (
 	"repro/internal/assembly"
 	"repro/internal/campaign"
 	"repro/internal/harness"
+	"repro/internal/mpi"
 	"repro/internal/results"
 	"repro/internal/results/store"
 )
@@ -59,6 +60,7 @@ func main() {
 		clocks  = flag.String("trendclocks", "0.5,1,2,4", "comma-separated CPU clock scales for -fig trend -axis cpu_clock")
 		axis    = flag.String("axis", "cache_kb", "trend grid axis for -fig trend: cache_kb | cpu_clock")
 		trReps  = flag.Int("trendreps", 2, "seed replications per trend grid point")
+		rankpar = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (conservative parallel scheduler; output is bit-identical to serial). 0 = serial scheduler, -1 = parallel with no cap. Non-default values checkpoint separately")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -74,6 +76,7 @@ func main() {
 	}
 	g := &generator{
 		outDir: *outDir, procs: *procs, seed: *seed, reps: *reps,
+		rankpar:   *rankpar,
 		trendAxis: *axis, trendCaches: trendCaches, trendClocks: trendClocks,
 		trendReps: *trReps,
 	}
@@ -172,15 +175,21 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 type generator struct {
-	outDir string
-	procs  int
-	seed   int64
-	reps   int
+	outDir  string
+	procs   int
+	seed    int64
+	reps    int
+	rankpar int
 
 	trendAxis   string
 	trendCaches []int
 	trendClocks []float64
 	trendReps   int
+}
+
+// applySched maps the -rankpar flag onto a world config.
+func (g *generator) applySched(w *mpi.WorldConfig) {
+	*w = w.WithRankParallelism(g.rankpar)
 }
 
 // figVersion salts figure-job checkpoint hashes; bump when rendering
@@ -216,6 +225,7 @@ func (g *generator) jobs(want func(string) bool) ([]campaign.Job, error) {
 		cfg := harness.DefaultCaseStudy()
 		cfg.World.Procs = g.procs
 		cfg.World.Seed = g.seed
+		g.applySched(&cfg.World)
 		jobs = append(jobs, harness.CaseStudyJob("case", cfg))
 	}
 	for _, k := range []harness.Kernel{harness.KernelStates, harness.KernelGodunov, harness.KernelEFM} {
@@ -296,6 +306,7 @@ func (g *generator) sweepConfig(k harness.Kernel) harness.SweepConfig {
 	cfg := harness.DefaultSweep(k)
 	cfg.World.Procs = g.procs
 	cfg.World.Seed = g.seed
+	g.applySched(&cfg.World)
 	cfg.Reps = g.reps
 	return cfg
 }

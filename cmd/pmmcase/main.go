@@ -15,6 +15,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/components"
 	"repro/internal/harness"
+	"repro/internal/mpi"
 	"repro/internal/results"
 )
 
@@ -32,12 +33,20 @@ func main() {
 		axis    = flag.String("axis", "cache_kb", "trend axis for -report: cache_kb | cpu_clock")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
+		rankpar = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (conservative parallel scheduler; output is bit-identical to serial). 0 = serial, -1 = parallel with no cap")
 	)
 	flag.Parse()
+
+	// applySched maps -rankpar onto a world: the conservative parallel
+	// scheduler changes wall-clock time only, never results.
+	applySched := func(w *mpi.WorldConfig) {
+		*w = w.WithRankParallelism(*rankpar)
+	}
 
 	cfg := harness.DefaultCaseStudy()
 	cfg.World.Procs = *procs
 	cfg.World.Seed = *seed
+	applySched(&cfg.World)
 	if *steps > 0 {
 		cfg.App.Driver.Steps = *steps
 	}
@@ -90,6 +99,7 @@ func main() {
 		scfg := harness.DefaultSweep(harness.KernelStates)
 		scfg.World.Procs = *procs
 		scfg.World.Seed = *seed
+		applySched(&scfg.World)
 		scfg.Reps = 2
 		// The refit runs and the cache-aware base sweep are independent
 		// simulated machines: one campaign, parallel workers.
@@ -131,6 +141,7 @@ func main() {
 		base := harness.DefaultSweep(harness.KernelStates)
 		base.World.Procs = *procs
 		base.World.Seed = *seed
+		applySched(&base.World)
 		base.Sizes = base.Sizes[:8]
 		base.Reps = 2
 		trendAxis, err := harness.TrendAxisNamed(*axis)
@@ -188,6 +199,7 @@ func main() {
 			cfgs[i] = harness.DefaultSweep(k)
 			cfgs[i].World.Procs = *procs
 			cfgs[i].World.Seed = *seed
+			applySched(&cfgs[i].World)
 		}
 		sweeps, err := harness.RunSweeps(context.Background(), cc, cfgs)
 		if err != nil {

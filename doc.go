@@ -41,6 +41,51 @@
 //   - errors aggregate across jobs (errors.Join) and progress events
 //     stream serially through CampaignConfig.OnProgress.
 //
+// # Scheduler modes
+//
+// Every simulated world schedules its ranks under one of two modes
+// (WorldConfig.Sched):
+//
+//   - SchedSerial (the zero value) is a conservative token scheduler:
+//     exactly one rank goroutine executes at a time, and when the running
+//     rank blocks inside MPI the token passes to the runnable rank with
+//     the smallest virtual clock. One world uses one core.
+//   - SchedConservativeParallel is a conservative parallel-discrete-event
+//     scheduler: rank compute segments — which touch only rank-local
+//     state (virtual clock, cache model, RNG, TAU profile) — run
+//     concurrently on real goroutines, each rank running ahead to its
+//     next interaction (its lookahead horizon: the next receive, wait or
+//     collective that could observe another rank, bounded below by
+//     pending message arrivals and the network model's minimum latency).
+//     Every operation on order-sensitive shared state (mailbox matching,
+//     collective completion, communicator-id allocation, collective-cost
+//     noise draws) commits under the same token discipline in the same
+//     total order the serial scheduler produces; sends are buffered
+//     rank-locally during run-ahead and flushed at the sender's commit
+//     turn. MaxParallelRanks caps concurrent ranks (0 = no cap).
+//
+// The determinism guarantee is bit-for-bit, proven by test, not hoped
+// for: for every scenario of the golden grid the parallel scheduler
+// produces identical profiles, virtual clocks, message orders and
+// rendered CSV/report bytes (see TestGoldenGridParallelEquivalence and
+// TestPropertySchedulerEquivalence), so the zero-value config keeps
+// checkpoint hashes, scenario keys and seeds byte-identical, and a
+// non-default scheduler hashes distinctly.
+//
+// When does parallel-rank pay off? It parallelizes compute inside one
+// world, so it wins on compute-dominated bodies with many ranks — the
+// BenchmarkWorldRun compute segment — while communication-dominated
+// workloads serialize at their commit points anyway. Across-world
+// campaign parallelism (CampaignConfig.Workers) is the first lever: whole
+// scenarios are embarrassingly parallel. The two compose multiplicatively
+// (worlds x ranks); prefer campaign workers when the grid has many
+// scenarios, and add parallel ranks ("-rankpar" on cmd/figures and
+// cmd/pmmcase, or a SchedAxis grid dimension) when individual worlds are
+// large or few. The SchedAxis/SchedModeAxis grid dimension is seed-inert
+// — scenarios differing only in scheduler share a derived seed — so a
+// grid can sweep serial vs parallel and verify their equivalence at
+// scale (see examples/campaign).
+//
 // # Grids and dimensions
 //
 // A Grid is the cross product of first-class axes times seed

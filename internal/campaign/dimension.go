@@ -25,6 +25,7 @@ const (
 	AxisMesh  = "mesh"
 	AxisFlux  = "flux"
 	AxisCPU   = "cpu"
+	AxisSched = "sched"
 )
 
 // DimValue is one value along a Dimension.
@@ -51,6 +52,14 @@ type Dimension struct {
 	Name string
 	// Values is the ordered sweep list.
 	Values []DimValue
+	// SeedInert marks an axis whose values change how the experiment
+	// executes, not what it simulates (the scheduler axis): the axis still
+	// contributes a key segment — scenarios stay uniquely keyed and
+	// checkpointed — but is excluded from seed derivation, so scenarios
+	// differing only on this axis share a seed and must produce identical
+	// results. That is what lets a grid verify scheduler equivalence at
+	// scale.
+	SeedInert bool
 }
 
 // Coord locates a scenario along one axis: the axis name, the value's key
@@ -71,6 +80,7 @@ func init() {
 	gob.Register("")
 	gob.Register(MeshSize{})
 	gob.Register(mpi.CPUTune{})
+	gob.Register(SchedChoice{})
 }
 
 // RankAxis sweeps the world size. Keys are "p<n>"; values apply
@@ -184,4 +194,55 @@ func CPUClockAxis(scales ...float64) Dimension {
 		tunes[i] = mpi.CPUTune{ClockScale: s}
 	}
 	return CPUAxis(tunes...)
+}
+
+// SchedChoice is one value of the scheduler axis: a scheduler mode plus
+// its parallel-rank cap.
+type SchedChoice struct {
+	Mode mpi.SchedulerMode
+	// MaxParallelRanks caps concurrent ranks under ConservativeParallel;
+	// zero means no cap. Ignored by the serial scheduler.
+	MaxParallelRanks int
+}
+
+// schedKey renders a scheduler choice as a stable key token ("serial",
+// "par", "par4").
+func (s SchedChoice) schedKey() string {
+	k := s.Mode.String()
+	if s.Mode == mpi.ConservativeParallel && s.MaxParallelRanks > 0 {
+		k = fmt.Sprintf("%s%d", k, s.MaxParallelRanks)
+	}
+	return k
+}
+
+// SchedAxis sweeps the rank scheduler (serial vs conservative parallel).
+// The axis is seed-inert: scenarios differing only in scheduler share a
+// derived seed, because the scheduler is proven not to change results —
+// sweeping it lets a grid verify that equivalence at scale while keeping
+// distinct scenario keys (and so distinct checkpoint entries and telemetry
+// shards) per mode.
+func SchedAxis(choices ...SchedChoice) Dimension {
+	d := Dimension{Name: AxisSched, SeedInert: true}
+	for _, c := range choices {
+		c := c
+		d.Values = append(d.Values, DimValue{
+			Key: c.schedKey(), Value: c,
+			Apply: func(w *mpi.WorldConfig) {
+				w.Sched = c.Mode
+				w.MaxParallelRanks = c.MaxParallelRanks
+			},
+		})
+	}
+	return d
+}
+
+// SchedModeAxis is SchedAxis over bare modes with no rank cap:
+// SchedModeAxis(mpi.Serial, mpi.ConservativeParallel) is the
+// equivalence-verification sweep.
+func SchedModeAxis(modes ...mpi.SchedulerMode) Dimension {
+	choices := make([]SchedChoice, len(modes))
+	for i, m := range modes {
+		choices[i] = SchedChoice{Mode: m}
+	}
+	return SchedAxis(choices...)
 }

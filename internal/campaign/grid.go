@@ -244,9 +244,14 @@ func validate(axes []Dimension) error {
 // value's key token becomes one segment of the scenario key
 // ("p3/eth/c512kB/m96x24/efm/r0"); unswept axes other than the implicit
 // rank/net/cache defaults contribute nothing, keeping existing grids' keys
-// — and hence their derived seeds and checkpoint hashes — stable. It
-// returns an error for duplicate axis names or duplicate value keys within
-// an axis: either would silently alias scenario keys.
+// — and hence their derived seeds and checkpoint hashes — stable.
+// Seed-inert axes (SchedAxis) keep their key segment but are excluded from
+// seed derivation, so scenarios differing only on such an axis share a
+// seed and must produce identical results. It returns an error for
+// duplicate axis names, duplicate value keys within an axis (either would
+// silently alias scenario keys), or a scenario whose expanded world fails
+// mpi validation — a bad tune or scheduler config surfaces here with the
+// offending scenario key instead of panicking mid-campaign.
 func (g Grid) Scenarios() ([]Scenario, error) {
 	axes := g.axes()
 	if err := validate(axes); err != nil {
@@ -260,16 +265,23 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 	if base == 0 {
 		base = g.Base.Seed
 	}
+	seedInert := false
+	for _, d := range axes {
+		if d.SeedInert {
+			seedInert = true
+		}
+	}
 	total := reps
 	for _, d := range axes {
 		total *= len(d.Values)
 	}
 	out := make([]Scenario, 0, total)
 	idx := make([]int, len(axes))
-	var sb strings.Builder
+	var sb, seedSB strings.Builder
 	for {
 		for rep := 0; rep < reps; rep++ {
 			sb.Reset()
+			seedSB.Reset()
 			w := g.Base
 			coords := make([]Coord, len(axes))
 			for ai, d := range axes {
@@ -278,6 +290,12 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 					sb.WriteByte('/')
 				}
 				sb.WriteString(v.Key)
+				if !d.SeedInert {
+					if seedSB.Len() > 0 {
+						seedSB.WriteByte('/')
+					}
+					seedSB.WriteString(v.Key)
+				}
 				coords[ai] = Coord{Axis: d.Name, Key: v.Key, Value: v.Value}
 				if v.Apply != nil {
 					v.Apply(&w)
@@ -285,7 +303,15 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 			}
 			fmt.Fprintf(&sb, "/r%d", rep)
 			key := sb.String()
-			w.Seed = DeriveSeed(base, key)
+			seedKey := key
+			if seedInert {
+				fmt.Fprintf(&seedSB, "/r%d", rep)
+				seedKey = seedSB.String()
+			}
+			w.Seed = DeriveSeed(base, seedKey)
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: scenario %q: %w", key, err)
+			}
 			out = append(out, Scenario{
 				Key: key, World: w, Coords: coords, Replication: rep,
 			})

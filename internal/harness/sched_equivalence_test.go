@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/mpi"
+)
+
+// This file is the tentpole's headline proof at the harness layer: for
+// every scenario of the PR 3 golden grid (the cache-axis trend grid whose
+// keys, seeds and hashes are pinned by grid_stability_golden.tsv), the
+// conservative parallel scheduler produces bit-for-bit the same sweeps,
+// fitted models, profiles, virtual clocks and trend.csv/trend.txt bytes as
+// the serial scheduler. Sizes are reduced to keep the test quick; the grid
+// structure — axes, replications, seeds — is the golden one.
+
+// goldenTrendGrid rebuilds the PR 3 golden "trend" grid over a reduced
+// States sweep.
+func goldenTrendGrid(t *testing.T) (SweepConfig, campaign.Grid) {
+	t.Helper()
+	base := DefaultSweep(KernelStates)
+	base.World.Procs = 3
+	base.World.Seed = 1
+	base.Sizes = base.Sizes[:4]
+	base.Reps = 2
+	return base, campaign.Grid{
+		Base:         base.World,
+		Axes:         []campaign.Dimension{campaign.CacheAxis(128, 256, 512, 1024)},
+		Replications: 2,
+		BaseSeed:     1,
+	}
+}
+
+// trendBytes streams the grid (serially, workers=1 is enough: determinism
+// across workers is already covered elsewhere) and renders trend.csv and
+// trend.txt.
+func trendBytes(t *testing.T, base SweepConfig, g campaign.Grid) (csv, txt []byte) {
+	t.Helper()
+	pts, err := StreamSweepGrid(context.Background(), campaign.Config{Workers: 2}, base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := BuildTrends(pts, TrendCacheKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf, txtBuf bytes.Buffer
+	if err := WriteTrendCSV(&csvBuf, reports); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrendReport(&txtBuf, reports); err != nil {
+		t.Fatal(err)
+	}
+	return csvBuf.Bytes(), txtBuf.Bytes()
+}
+
+// withSched returns the sweep config under the given scheduler mode.
+func withSched(cfg SweepConfig, mode mpi.SchedulerMode) SweepConfig {
+	cfg.World.Sched = mode
+	return cfg
+}
+
+func TestGoldenGridParallelEquivalence(t *testing.T) {
+	t.Parallel()
+	base, grid := goldenTrendGrid(t)
+	scs, err := grid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		cfg := base
+		cfg.World = sc.World
+		serial, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", sc.Key, err)
+		}
+		par, err := RunSweep(withSched(cfg, mpi.ConservativeParallel))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", sc.Key, err)
+		}
+		if !reflect.DeepEqual(serial.Points, par.Points) {
+			t.Errorf("%s: sweep points differ between schedulers", sc.Key)
+			continue
+		}
+		ms, err := FitModels(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := FitModels(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ms, mp) {
+			t.Errorf("%s: fitted models differ between schedulers", sc.Key)
+		}
+	}
+
+	// And the rendered trend artifacts, end to end over the whole grid.
+	parBase := withSched(base, mpi.ConservativeParallel)
+	parGrid := grid
+	parGrid.Base = parBase.World
+	csvS, txtS := trendBytes(t, base, grid)
+	csvP, txtP := trendBytes(t, parBase, parGrid)
+	if !bytes.Equal(csvS, csvP) {
+		t.Errorf("trend.csv differs between schedulers:\nserial:\n%s\nparallel:\n%s", csvS, csvP)
+	}
+	if !bytes.Equal(txtS, txtP) {
+		t.Errorf("trend.txt differs between schedulers:\nserial:\n%s\nparallel:\n%s", txtS, txtP)
+	}
+}
+
+// TestCaseStudyParallelEquivalence runs the Fig. 3 profile workload — the
+// full component application with ghost exchanges, load balancing and the
+// Mastermind interposed — under both schedulers and compares profiles,
+// per-rank virtual clocks, the rendered FUNCTION SUMMARY and the Fig. 9
+// ghost-communication series byte for byte.
+func TestCaseStudyParallelEquivalence(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultCaseStudy()
+	cfg.App.Mesh.BaseNx, cfg.App.Mesh.BaseNy = 48, 12
+	cfg.App.Mesh.TileNx, cfg.App.Mesh.TileNy = 12, 6
+	cfg.App.Driver.Steps = 8
+	cfg.App.Driver.RegridInterval = 4
+
+	serial, err := RunCaseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := cfg
+	parCfg.World.Sched = mpi.ConservativeParallel
+	par, err := RunCaseStudy(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for r := range serial.Profiles {
+		var bs, bp bytes.Buffer
+		if err := gob.NewEncoder(&bs).Encode(serial.Profiles[r]); err != nil {
+			t.Fatal(err)
+		}
+		if err := gob.NewEncoder(&bp).Encode(par.Profiles[r]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+			t.Errorf("rank %d: serialized TAU profile differs between schedulers", r)
+		}
+	}
+	render := func(res *CaseStudyResult) (string, string) {
+		var prof, ghost strings.Builder
+		if err := res.WriteProfile(&prof); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteGhostCommCSV(&ghost); err != nil {
+			t.Fatal(err)
+		}
+		return prof.String(), ghost.String()
+	}
+	profS, ghostS := render(serial)
+	profP, ghostP := render(par)
+	if profS != profP {
+		t.Errorf("FUNCTION SUMMARY differs:\nserial:\n%s\nparallel:\n%s", profS, profP)
+	}
+	if ghostS != ghostP {
+		t.Error("ghost-communication CSV differs between schedulers")
+	}
+	if serial.SimTime != par.SimTime || serial.StepsTaken != par.StepsTaken {
+		t.Errorf("driver progress differs: serial t=%v/%d steps, parallel t=%v/%d steps",
+			serial.SimTime, serial.StepsTaken, par.SimTime, par.StepsTaken)
+	}
+	if !reflect.DeepEqual(serial.Image, par.Image) {
+		t.Error("density image differs between schedulers")
+	}
+}
+
+// TestSchedGridEquivalenceAtScale exercises the campaign-level check the
+// SchedAxis exists for: one grid sweeping serial vs parallel (seed-inert,
+// so paired scenarios share seeds) crossed with a machine axis; paired
+// scenarios must fit identical models.
+func TestSchedGridEquivalenceAtScale(t *testing.T) {
+	t.Parallel()
+	base := DefaultSweep(KernelStates)
+	base.World.Procs = 2
+	base.Sizes = base.Sizes[:3]
+	base.Reps = 2
+	g := campaign.Grid{
+		Base: base.World,
+		Axes: []campaign.Dimension{
+			campaign.CacheAxis(128, 512),
+			campaign.SchedModeAxis(mpi.Serial, mpi.ConservativeParallel),
+		},
+		Replications: 2,
+	}
+	points, err := RunSweepGrid(context.Background(), campaign.Config{}, base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byExperiment := map[string][]GridSweep{}
+	for _, p := range points {
+		sched := p.Scenario.Label(campaign.AxisSched)
+		exp := strings.Replace(p.Scenario.Key, "/"+sched, "", 1)
+		byExperiment[exp] = append(byExperiment[exp], p)
+	}
+	if len(byExperiment) != len(points)/2 {
+		t.Fatalf("pairing failed: %d experiments from %d points", len(byExperiment), len(points))
+	}
+	for exp, pair := range byExperiment {
+		if len(pair) != 2 {
+			t.Fatalf("experiment %s has %d scheduler variants, want 2", exp, len(pair))
+		}
+		if pair[0].Scenario.World.Seed != pair[1].Scenario.World.Seed {
+			t.Errorf("experiment %s: seeds differ across the seed-inert sched axis", exp)
+		}
+		if !reflect.DeepEqual(pair[0].Result.Points, pair[1].Result.Points) {
+			t.Errorf("experiment %s: sweep points differ between schedulers", exp)
+		}
+		if !reflect.DeepEqual(pair[0].Model, pair[1].Model) {
+			t.Errorf("experiment %s: fitted models differ between schedulers", exp)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Printf("verified %d scheduler-equivalent experiment pairs\n", len(byExperiment))
+	}
+}

@@ -138,7 +138,8 @@ func (c *Comm) collectiveLocked(kind collKind, data []float64, root int, op Op) 
 	if cs.arrived == len(c.group) {
 		c.completeCollectiveLocked(cs)
 	} else {
-		w.blockOn(c.r.rank, func() bool { return cs.gen > myGen })
+		w.blockOn(c.r.rank, blockDesc{op: "MPI_" + kind.String() + "()", comm: c.id},
+			func() bool { return cs.gen > myGen })
 		if w.aborted {
 			panic(abortPanic{})
 		}
@@ -200,7 +201,9 @@ func (c *Comm) completeCollectiveLocked(cs *collState) {
 	cs.arrived = 0
 	cs.gen++
 	// Parked members are promoted at the next scheduling point (when this
-	// rank blocks or finishes); only one rank ever runs at a time.
+	// rank blocks or finishes); shared-state commits are token-ordered in
+	// both scheduler modes, so only one rank ever mutates this state at a
+	// time.
 }
 
 // reduceContrib folds the contributions elementwise under op. All
@@ -229,10 +232,10 @@ func reduceContrib(contrib [][]float64, op Op) []float64 {
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Barrier()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	c.collectiveLocked(collBarrier, nil, 0, OpSum)
 }
 
@@ -240,10 +243,10 @@ func (c *Comm) Barrier() {
 // the result (identical on every rank).
 func (c *Comm) Allreduce(op Op, data []float64) []float64 {
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Allreduce()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	res, _ := c.collectiveLocked(collAllreduce, data, 0, op)
 	out := make([]float64, len(res))
 	copy(out, res)
@@ -255,10 +258,10 @@ func (c *Comm) Allreduce(op Op, data []float64) []float64 {
 func (c *Comm) Reduce(op Op, root int, data []float64) []float64 {
 	c.checkPeer(root)
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Reduce()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	res, _ := c.collectiveLocked(collReduce, data, root, op)
 	if res == nil {
 		return nil
@@ -272,10 +275,10 @@ func (c *Comm) Reduce(op Op, root int, data []float64) []float64 {
 func (c *Comm) Bcast(root int, buf []float64) {
 	c.checkPeer(root)
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Bcast()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	var contrib []float64
 	if c.rank == root {
 		contrib = buf
@@ -293,10 +296,10 @@ func (c *Comm) Bcast(root int, buf []float64) {
 // order and returns the concatenation on every rank.
 func (c *Comm) Allgather(data []float64) []float64 {
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Allgather()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	res, _ := c.collectiveLocked(collAllgather, data, 0, OpSum)
 	out := make([]float64, len(res))
 	copy(out, res)
@@ -307,10 +310,10 @@ func (c *Comm) Allgather(data []float64) []float64 {
 // the same group but a private message space.
 func (c *Comm) Dup() *Comm {
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Comm_dup()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	_, id := c.collectiveLocked(collDup, nil, 0, OpSum)
 	return &Comm{world: w, id: id, rank: c.rank, group: c.group, r: c.r}
 }
@@ -326,10 +329,10 @@ func (c *Comm) CommCreate(group []int) *Comm {
 		}
 	}
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Comm_create()")
 	defer stop()
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	_, id := c.collectiveLocked(collCreate, nil, 0, OpSum)
 	myNew := -1
 	worldGroup := make([]int, len(group))

@@ -13,6 +13,15 @@ const (
 // Comm is a communicator: an ordered group of ranks with a private message
 // space. Comm methods must be called by the owning rank's goroutine inside
 // World.Run.
+//
+// Entry points fall in two classes. Rank-local operations (Send, Isend,
+// Irecv, Cancel, Wtime, ErrhandlerSet) touch only the calling rank's clock,
+// profile and request objects, so under ConservativeParallel they run
+// without any synchronization — this is the run-ahead that buys wall-clock
+// parallelism (sends buffer their fully computed message for the rank's
+// next commit turn). Shared operations (Recv, Wait*, all collectives,
+// KeyvalCreate) read or write order-sensitive world state and commit under
+// the token discipline via World.lockShared.
 type Comm struct {
 	world *World
 	id    int
@@ -36,7 +45,7 @@ func (c *Comm) checkPeer(peer int) {
 
 // enter wraps an MPI entry point in its TAU timer (group "MPI") and charges
 // the fixed software overhead. It returns the function that closes the
-// timer.
+// timer. Profile and clock are rank-local, so no lock is needed.
 func (c *Comm) enter(name string) func() {
 	c.r.Prof.Start(name, "MPI")
 	c.r.Proc.Advance(c.world.cfg.Net.SoftwareUS)
@@ -46,7 +55,8 @@ func (c *Comm) enter(name string) func() {
 // bytesOf returns the payload size of a float64 message in bytes.
 func bytesOf(n int) int { return 8 * n }
 
-// Request represents a pending nonblocking operation.
+// Request represents a pending nonblocking operation. Requests are owned
+// by the rank that created them and must not be shared across ranks.
 type Request struct {
 	comm     *Comm
 	isRecv   bool
@@ -66,15 +76,26 @@ func (r *Request) Canceled() bool { return r.canceled }
 // Count returns the number of float64 values received (0 for sends).
 func (r *Request) Count() int { return r.n }
 
-// postSend computes the virtual arrival time and enqueues the message.
-// Caller must hold the world lock.
-func (c *Comm) postSendLocked(dst, tag int, data []float64) {
+// postSend computes the virtual arrival time and delivers the message: in
+// serial mode it enqueues directly (under the world lock); in parallel
+// mode it buffers the fully computed message rank-locally, to be flushed
+// in program order at the rank's next commit turn. Arrival time and noise
+// draw use only the sender's clock and RNG, so the buffered message is
+// bit-identical to the one the serial scheduler would enqueue.
+func (c *Comm) postSend(dst, tag int, data []float64) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	arrive := c.r.Proc.Now() + c.world.cfg.Net.PointToPoint(bytesOf(len(data)), c.r.Proc.RNG())
-	c.world.enqueueLocked(mailKey{comm: c.id, dst: c.group[dst]}, &message{
-		src: c.rank, tag: tag, data: cp, arrive: arrive,
-	})
+	m := &message{src: c.rank, tag: tag, data: cp, arrive: arrive}
+	key := mailKey{comm: c.id, dst: c.group[dst]}
+	w := c.world
+	if w.par {
+		c.r.pending = append(c.r.pending, pendingSend{key: key, msg: m})
+	} else {
+		w.mu.Lock()
+		w.enqueueLocked(key, m)
+		w.mu.Unlock()
+	}
 	c.r.Prof.TriggerEvent("Message size sent", float64(bytesOf(len(data))))
 }
 
@@ -102,16 +123,13 @@ const copyBytesPerUS = 1500.0
 // Send performs a blocking standard-mode send. Small/medium messages are
 // modeled as eagerly buffered: the sender pays the software overhead and a
 // local copy, and the message arrives at the destination after the network
-// delay.
+// delay. A rank-local operation: it never blocks the sender.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	c.checkPeer(dst)
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Send()")
 	defer stop()
 	c.r.Proc.Advance(float64(bytesOf(len(data))) / copyBytesPerUS)
-	c.postSendLocked(dst, tag, data)
+	c.postSend(dst, tag, data)
 }
 
 // Recv performs a blocking receive into buf, returning the number of
@@ -120,13 +138,14 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 	if src != AnySource {
 		c.checkPeer(src)
 	}
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Recv()")
 	defer stop()
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	key := mailKey{comm: c.id, dst: c.group[c.rank]}
-	w.blockOn(c.r.rank, func() bool { return w.hasMatchLocked(key, src, tag) })
+	w.blockOn(c.r.rank, blockDesc{op: "MPI_Recv()", comm: c.id, src: src, tag: tag},
+		func() bool { return w.hasMatchLocked(key, src, tag) })
 	if w.aborted {
 		panic(abortPanic{})
 	}
@@ -141,31 +160,26 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 // posts all sends before waiting on receives.
 func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 	c.checkPeer(dst)
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Isend()")
 	defer stop()
-	c.postSendLocked(dst, tag, data)
+	c.postSend(dst, tag, data)
 	return &Request{comm: c, done: true}
 }
 
 // Irecv posts a nonblocking receive into buf. Complete it with Wait,
-// Waitall or Waitsome.
+// Waitall or Waitsome. Posting is rank-local; only completion touches the
+// shared message space.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	if src != AnySource {
 		c.checkPeer(src)
 	}
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Irecv()")
 	defer stop()
 	return &Request{comm: c, isRecv: true, src: src, tag: tag, buf: buf}
 }
 
 // waitLocked completes one request, blocking if necessary.
-func (c *Comm) waitLocked(req *Request) {
+func (c *Comm) waitLocked(op string, req *Request) {
 	if req.done || req.canceled {
 		return
 	}
@@ -175,7 +189,8 @@ func (c *Comm) waitLocked(req *Request) {
 	}
 	w := c.world
 	key := mailKey{comm: req.comm.id, dst: req.comm.group[req.comm.rank]}
-	w.blockOn(c.r.rank, func() bool { return w.hasMatchLocked(key, req.src, req.tag) })
+	w.blockOn(c.r.rank, blockDesc{op: op, comm: req.comm.id, src: req.src, tag: req.tag},
+		func() bool { return w.hasMatchLocked(key, req.src, req.tag) })
 	if w.aborted {
 		panic(abortPanic{})
 	}
@@ -183,25 +198,52 @@ func (c *Comm) waitLocked(req *Request) {
 	req.comm.consumeLocked(m, req)
 }
 
+// pendingRecvs counts the posted receives in reqs that are still open.
+func pendingRecvs(reqs []*Request) int {
+	n := 0
+	for _, r := range reqs {
+		if r.isRecv && !r.done && !r.canceled {
+			n++
+		}
+	}
+	return n
+}
+
 // Wait blocks until the request completes.
 func (c *Comm) Wait(req *Request) {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Wait()")
 	defer stop()
-	c.waitLocked(req)
+	if req.done || req.canceled || !req.isRecv {
+		if !req.isRecv {
+			req.done = true
+		}
+		return
+	}
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
+	c.waitLocked("MPI_Wait()", req)
 }
 
 // Waitall blocks until every request completes.
 func (c *Comm) Waitall(reqs []*Request) {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Waitall()")
 	defer stop()
+	if pendingRecvs(reqs) == 0 {
+		// Only sends (already complete at posting) and settled requests:
+		// nothing touches the shared message space.
+		for _, r := range reqs {
+			if !r.done && !r.canceled && !r.isRecv {
+				r.done = true
+			}
+		}
+		return
+	}
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	for _, r := range reqs {
-		c.waitLocked(r)
+		c.waitLocked("MPI_Waitall()", r)
 	}
 }
 
@@ -212,15 +254,14 @@ func (c *Comm) Waitall(reqs []*Request) {
 // updates and the load-balancing redistribution both post batches of
 // nonblocking receives and drain them with Waitsome.
 func (c *Comm) Waitsome(reqs []*Request) []int {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Waitsome()")
 	defer stop()
 
-	// Complete any finished sends without blocking.
+	// Complete any finished sends without blocking — a rank-local fast
+	// path: send requests are complete at posting and never consult the
+	// shared message space.
 	var out []int
-	pendingRecv := false
+	pendingRecv := 0
 	for i, r := range reqs {
 		if r.done || r.canceled {
 			continue
@@ -230,15 +271,18 @@ func (c *Comm) Waitsome(reqs []*Request) []int {
 			out = append(out, i)
 			continue
 		}
-		pendingRecv = true
+		pendingRecv++
 	}
 	if len(out) > 0 {
 		return out
 	}
-	if !pendingRecv {
+	if pendingRecv == 0 {
 		return nil
 	}
 
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	ready := func() bool {
 		for _, r := range reqs {
 			if r.isRecv && !r.done && !r.canceled {
@@ -250,7 +294,7 @@ func (c *Comm) Waitsome(reqs []*Request) []int {
 		}
 		return false
 	}
-	w.blockOn(c.r.rank, ready)
+	w.blockOn(c.r.rank, blockDesc{op: "MPI_Waitsome()", comm: c.id, pending: pendingRecv}, ready)
 	if w.aborted {
 		panic(abortPanic{})
 	}
@@ -268,11 +312,9 @@ func (c *Comm) Waitsome(reqs []*Request) []int {
 }
 
 // Cancel cancels a pending receive request that has not yet been matched.
-// Canceling a completed request is a no-op, as in MPI.
+// Canceling a completed request is a no-op, as in MPI. Rank-local: the
+// request belongs to the calling rank.
 func (c *Comm) Cancel(req *Request) {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Cancel()")
 	defer stop()
 	if !req.done {
@@ -282,9 +324,6 @@ func (c *Comm) Cancel(req *Request) {
 
 // Wtime returns the rank's virtual time in seconds (MPI_Wtime semantics).
 func (c *Comm) Wtime() float64 {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Wtime()")
 	defer stop()
 	return c.r.Proc.Now() * 1e-6
@@ -293,43 +332,41 @@ func (c *Comm) Wtime() float64 {
 // Init models MPI_Init: a synchronizing startup with a substantial
 // one-time cost (the Fig. 3 profile shows ~0.66 s per rank).
 func (c *Comm) Init() {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Init()")
 	defer stop()
-	c.r.Proc.Advance(w.cfg.InitUS)
+	c.r.Proc.Advance(c.world.cfg.InitUS)
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	c.collectiveLocked(collBarrier, nil, 0, OpSum)
 }
 
 // Finalize models MPI_Finalize: a synchronizing teardown.
 func (c *Comm) Finalize() {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Finalize()")
 	defer stop()
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	c.collectiveLocked(collBarrier, nil, 0, OpSum)
 	c.r.Proc.Advance(w.cfg.FinalizeUS)
 }
 
 // KeyvalCreate models MPI_Keyval_create: it allocates a fresh attribute key
-// (the paper's framework calls it during startup).
+// (the paper's framework calls it during startup). Id allocation is
+// order-sensitive shared state, so it commits under the token.
 func (c *Comm) KeyvalCreate() int {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Keyval_create()")
 	defer stop()
+	w := c.world
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
 	w.nextCommID++ // reuse the id space for keyvals; uniqueness is all MPI promises
 	return w.nextCommID
 }
 
 // ErrhandlerSet models MPI_Errhandler_set: bookkeeping only.
 func (c *Comm) ErrhandlerSet() {
-	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	stop := c.enter("MPI_Errhandler_set()")
 	defer stop()
 }

@@ -1,0 +1,325 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// parConfig returns testConfig with the conservative parallel scheduler.
+func parConfig(p int) WorldConfig {
+	cfg := testConfig(p)
+	cfg.Sched = ConservativeParallel
+	return cfg
+}
+
+// worldTrace is everything a scheduler-equivalence test compares: the
+// per-rank final clocks and counters, the gob-serialized TAU profiles
+// (bit-for-bit), and an application-level receive log.
+type worldTrace struct {
+	clocks   []float64
+	counters []string
+	profiles [][]byte
+	log      [][]string
+}
+
+// runTraced runs body under cfg and snapshots the world. log records one
+// slice of strings per rank, appended by the body (rank-local).
+func runTraced(t *testing.T, cfg WorldConfig, body func(r *Rank, log *[]string)) worldTrace {
+	t.Helper()
+	w := NewWorld(cfg)
+	tr := worldTrace{log: make([][]string, cfg.Procs)}
+	err := w.Run(func(r *Rank) {
+		body(r, &tr.log[r.Rank()])
+	})
+	if err != nil {
+		t.Fatalf("sched=%v: %v", cfg.Sched, err)
+	}
+	for _, r := range w.Ranks() {
+		tr.clocks = append(tr.clocks, r.Proc.Now())
+		tr.counters = append(tr.counters, fmt.Sprintf("%+v", r.Proc.Counters()))
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(r.Prof); err != nil {
+			t.Fatal(err)
+		}
+		tr.profiles = append(tr.profiles, buf.Bytes())
+	}
+	return tr
+}
+
+// assertTracesEqual compares a serial and a parallel trace bit for bit.
+func assertTracesEqual(t *testing.T, serial, par worldTrace) {
+	t.Helper()
+	for r := range serial.clocks {
+		if serial.clocks[r] != par.clocks[r] {
+			t.Errorf("rank %d: clock %v (serial) != %v (parallel)", r, serial.clocks[r], par.clocks[r])
+		}
+		if serial.counters[r] != par.counters[r] {
+			t.Errorf("rank %d: counters %s (serial) != %s (parallel)", r, serial.counters[r], par.counters[r])
+		}
+		if !bytes.Equal(serial.profiles[r], par.profiles[r]) {
+			t.Errorf("rank %d: serialized TAU profile differs between schedulers", r)
+		}
+		if fmt.Sprint(serial.log[r]) != fmt.Sprint(par.log[r]) {
+			t.Errorf("rank %d: receive log differs:\nserial:   %v\nparallel: %v", r, serial.log[r], par.log[r])
+		}
+	}
+}
+
+// bothScheds runs the same body under the serial and the conservative
+// parallel scheduler and requires bit-identical traces.
+func bothScheds(t *testing.T, p int, body func(r *Rank, log *[]string)) {
+	t.Helper()
+	assertTracesEqual(t, runTraced(t, testConfig(p), body), runTraced(t, parConfig(p), body))
+}
+
+// TestParallelMatchesSerialPointToPoint covers the ghost-exchange shape:
+// every rank posts receives from all peers, sends to all peers, and drains
+// with Waitsome — under network noise, with per-rank compute skew.
+func TestParallelMatchesSerialPointToPoint(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(p)
+			cfg.Net.NoiseSigma = 0.35 // exercise the per-rank noise RNG too
+			body := func(r *Rank, log *[]string) {
+				me := r.Rank()
+				r.Proc.Advance(float64(me*37 + 11))
+				var reqs []*Request
+				bufs := make([][]float64, p)
+				for peer := 0; peer < p; peer++ {
+					if peer == me {
+						continue
+					}
+					bufs[peer] = make([]float64, 8)
+					reqs = append(reqs, r.Comm.Irecv(peer, 3, bufs[peer]))
+				}
+				payload := make([]float64, 8)
+				for i := range payload {
+					payload[i] = float64(me*100 + i)
+				}
+				for peer := 0; peer < p; peer++ {
+					if peer != me {
+						r.Comm.Isend(peer, 3, payload)
+					}
+				}
+				for {
+					done := r.Comm.Waitsome(reqs)
+					if done == nil {
+						break
+					}
+					for _, i := range done {
+						*log = append(*log, fmt.Sprintf("req%d@%.3f=%g", i, r.Proc.Now(), reqs[i].buf[0]))
+					}
+				}
+			}
+			par := cfg
+			par.Sched = ConservativeParallel
+			assertTracesEqual(t, runTraced(t, cfg, body), runTraced(t, par, body))
+		})
+	}
+}
+
+// TestParallelMatchesSerialCollectives mixes collectives, communicator
+// duplication and blocking point-to-point with compute between events.
+func TestParallelMatchesSerialCollectives(t *testing.T) {
+	t.Parallel()
+	bothScheds(t, 4, func(r *Rank, log *[]string) {
+		me := r.Rank()
+		r.Comm.Init()
+		r.Proc.Advance(float64(100 - me*13))
+		sum := r.Comm.Allreduce(OpSum, []float64{float64(me), 1})
+		*log = append(*log, fmt.Sprintf("sum=%v", sum))
+		d := r.Comm.Dup()
+		if me == 0 {
+			d.Send(3, 9, []float64{42})
+		}
+		if me == 3 {
+			buf := make([]float64, 1)
+			d.Recv(AnySource, AnyTag, buf)
+			*log = append(*log, fmt.Sprintf("recv=%v@%.3f", buf, r.Proc.Now()))
+		}
+		r.Comm.Barrier()
+		got := r.Comm.Allgather([]float64{float64(me * me)})
+		*log = append(*log, fmt.Sprintf("gather=%v", got))
+		r.Comm.Finalize()
+	})
+}
+
+// TestParallelMatchesSerialAnySourceOrder pins the order-sensitive case:
+// wildcard receives must match messages in the exact order the serial
+// scheduler enqueues them, even though parallel senders post concurrently.
+func TestParallelMatchesSerialAnySourceOrder(t *testing.T) {
+	t.Parallel()
+	bothScheds(t, 4, func(r *Rank, log *[]string) {
+		me := r.Rank()
+		if me == 0 {
+			buf := make([]float64, 1)
+			for i := 0; i < 9; i++ {
+				r.Comm.Recv(AnySource, AnyTag, buf)
+				*log = append(*log, fmt.Sprintf("%g@%.3f", buf[0], r.Proc.Now()))
+			}
+			return
+		}
+		// Different compute skews so senders hit their sends at different
+		// virtual times and in a nontrivial token order.
+		rng := rand.New(rand.NewSource(int64(me)))
+		for i := 0; i < 3; i++ {
+			r.Proc.Advance(rng.Float64() * 50)
+			r.Comm.Send(0, me, []float64{float64(me*10 + i)})
+		}
+	})
+}
+
+// TestParallelMaxParallelRanks caps concurrency without changing results.
+func TestParallelMaxParallelRanks(t *testing.T) {
+	t.Parallel()
+	body := func(r *Rank, log *[]string) {
+		r.Proc.Advance(float64(r.Rank() + 1))
+		got := r.Comm.Allreduce(OpMax, []float64{float64(r.Rank())})
+		*log = append(*log, fmt.Sprintf("%v", got))
+	}
+	serial := runTraced(t, testConfig(5), body)
+	for _, cap := range []int{1, 2, 16} {
+		cfg := parConfig(5)
+		cfg.MaxParallelRanks = cap
+		assertTracesEqual(t, serial, runTraced(t, cfg, body))
+	}
+}
+
+// TestDeadlockDiagnosticsBothModes asserts that a mismatched send/recv
+// pair produces the extended diagnostic — per-rank state and the pending
+// lookahead horizon — instead of hanging, under both schedulers.
+func TestDeadlockDiagnosticsBothModes(t *testing.T) {
+	for _, cfg := range []WorldConfig{testConfig(3), parConfig(3)} {
+		cfg := cfg
+		t.Run(cfg.Sched.String(), func(t *testing.T) {
+			t.Parallel()
+			w := NewWorld(cfg)
+			err := w.Run(func(r *Rank) {
+				switch r.Rank() {
+				case 0:
+					buf := make([]float64, 1)
+					r.Comm.Recv(1, 42, buf) // never sent with this tag
+				case 1:
+					r.Comm.Send(0, 7, []float64{1}) // mismatched tag
+				}
+			})
+			if err == nil {
+				t.Fatal("mismatched send/recv did not error")
+			}
+			for _, want := range []string{
+				"deadlock",
+				"MPI_Recv(src=1, tag=42) on comm 0",
+				"world state at deadlock:",
+				"rank 1: done",
+				"rank 2: done",
+				"undelivered message(s)",
+				"pending lookahead horizon",
+			} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("diagnostic missing %q:\n%v", want, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlockInCollectiveDiagnostics names the collective a rank is stuck
+// in when the cohort never completes.
+func TestDeadlockInCollectiveDiagnostics(t *testing.T) {
+	for _, cfg := range []WorldConfig{testConfig(2), parConfig(2)} {
+		cfg := cfg
+		t.Run(cfg.Sched.String(), func(t *testing.T) {
+			t.Parallel()
+			w := NewWorld(cfg)
+			err := w.Run(func(r *Rank) {
+				if r.Rank() == 0 {
+					r.Comm.Barrier() // rank 1 never joins
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), "MPI_Barrier on comm 0") {
+				t.Fatalf("expected barrier deadlock diagnostic, got %v", err)
+			}
+		})
+	}
+}
+
+// TestValidateRejectsInvalidConfig covers the new early validation: bad
+// scheduler configs fail with a clear error at construction, not a late
+// panic mid-run.
+func TestValidateRejectsInvalidConfig(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*WorldConfig)
+		want string
+	}{
+		{"procs", func(c *WorldConfig) { c.Procs = 0 }, "Procs 0"},
+		{"rankcap", func(c *WorldConfig) { c.MaxParallelRanks = -2 }, "MaxParallelRanks -2"},
+		{"mode", func(c *WorldConfig) { c.Sched = SchedulerMode(9) }, "scheduler mode 9"},
+		{"tune", func(c *WorldConfig) { c.Tune.ClockScale = -1 }, "CPU tune"},
+	}
+	for _, tc := range cases {
+		cfg := testConfig(2)
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+		func() {
+			defer func() {
+				e := recover()
+				if e == nil || !strings.Contains(fmt.Sprint(e), tc.want) {
+					t.Errorf("%s: NewWorld panic = %v, want %q", tc.name, e, tc.want)
+				}
+			}()
+			NewWorld(cfg)
+		}()
+	}
+	if err := testConfig(3).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := parConfig(3).Validate(); err != nil {
+		t.Errorf("valid parallel config rejected: %v", err)
+	}
+}
+
+// TestSchedGoStringStability: the zero-value scheduler fields must render
+// invisibly (checkpoint hashes digest %#v), and non-default ones must show.
+func TestSchedGoStringStability(t *testing.T) {
+	t.Parallel()
+	plain := fmt.Sprintf("%#v", testConfig(3))
+	if strings.Contains(plain, "Sched") || strings.Contains(plain, "MaxParallelRanks") {
+		t.Errorf("zero scheduler config visible in rendering: %s", plain)
+	}
+	cfg := parConfig(3)
+	cfg.MaxParallelRanks = 4
+	par := fmt.Sprintf("%#v", cfg)
+	if !strings.Contains(par, "Sched:1") || !strings.Contains(par, "MaxParallelRanks:4") {
+		t.Errorf("non-default scheduler config not rendered: %s", par)
+	}
+	if !strings.HasPrefix(par, strings.TrimSuffix(plain, "}")) {
+		t.Errorf("scheduler fields must append to the legacy rendering:\nplain: %s\npar:   %s", plain, par)
+	}
+}
+
+// TestParallelBodyPanicPropagates: a rank panic aborts the world and
+// surfaces as an error under the parallel scheduler too.
+func TestParallelBodyPanicPropagates(t *testing.T) {
+	t.Parallel()
+	w := NewWorld(parConfig(3))
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			panic("application failure")
+		}
+		r.Comm.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "application failure") {
+		t.Fatalf("expected rank panic to propagate, got %v", err)
+	}
+}

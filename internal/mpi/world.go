@@ -10,17 +10,30 @@
 // rows and the Mastermind's "time in MPI" query come out of the same
 // mechanism the paper used.
 //
-// Scheduling is a conservative, fully deterministic token model: exactly
-// one rank executes at a time, and whenever the running rank blocks inside
-// MPI, the token passes to the runnable rank with the smallest virtual
-// clock. Message arrival times are computed from the sender's clock plus
-// the network model, so "time spent waiting in MPI" is the difference
-// between virtual arrival and the receiver's entry time — deterministic
-// run to run.
+// Scheduling is conservative and fully deterministic in both modes:
+//
+//   - Serial (the zero value) is the original token model: exactly one
+//     rank executes at a time, and whenever the running rank blocks inside
+//     MPI, the token passes to the runnable rank with the smallest virtual
+//     clock. Message arrival times are computed from the sender's clock
+//     plus the network model, so "time spent waiting in MPI" is the
+//     difference between virtual arrival and the receiver's entry time —
+//     deterministic run to run.
+//   - ConservativeParallel runs rank goroutines concurrently between
+//     communication events: compute segments (which touch only rank-local
+//     state — clock, cache, RNG, profile) execute in parallel on real
+//     cores, while every operation on order-sensitive shared state
+//     (mailboxes, collectives, communicator ids, the collective-cost RNG)
+//     commits under the same token discipline the serial scheduler uses,
+//     in the same total order. Sends are buffered rank-locally during
+//     run-ahead and flushed at the rank's next commit turn. The result is
+//     bit-for-bit identical virtual clocks, profiles and message orders —
+//     parallelism is purely a wall-clock optimization.
 package mpi
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime/debug"
 	"strings"
@@ -39,6 +52,34 @@ const (
 	stBlocked
 	stDone
 )
+
+// SchedulerMode selects how World.Run schedules its rank goroutines. The
+// two modes produce bit-for-bit identical virtual clocks, profiles and
+// message orders; they differ only in wall-clock time and core usage.
+type SchedulerMode int
+
+const (
+	// Serial is the original token scheduler: exactly one rank goroutine
+	// executes at a time, so a world uses one core regardless of size.
+	Serial SchedulerMode = iota
+	// ConservativeParallel executes rank compute segments concurrently,
+	// synchronizing only at communication events: each rank runs ahead to
+	// its next interaction (its lookahead horizon) on its own goroutine,
+	// and shared-state commits replay the serial token order exactly.
+	ConservativeParallel
+)
+
+// String returns the mode's stable token ("serial", "par"), used by the
+// campaign scheduler axis and command-line flags.
+func (m SchedulerMode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case ConservativeParallel:
+		return "par"
+	}
+	return fmt.Sprintf("SchedulerMode(%d)", int(m))
+}
 
 // CPUTune scales the per-rank CPU model relative to its calibrated base —
 // the paper's Section 6 "parameterized by processor speed and a cache
@@ -101,13 +142,21 @@ type WorldConfig struct {
 	// Tune scales the CPU model (clock, hit/miss penalties) relative to
 	// its calibrated base. The zero value changes nothing.
 	Tune CPUTune
+	// Sched selects the rank scheduler. The zero value is the serial token
+	// scheduler; ConservativeParallel runs rank compute concurrently with
+	// bit-for-bit identical results.
+	Sched SchedulerMode
+	// MaxParallelRanks caps how many ranks compute concurrently under
+	// ConservativeParallel. Zero means no cap (the Go runtime's GOMAXPROCS
+	// governs actual parallelism); it is ignored by the serial scheduler.
+	MaxParallelRanks int
 }
 
 // legacyWorldConfig mirrors WorldConfig's pre-Tune field set. GoString
-// renders through it so configurations that do not use the CPU tune keep
-// the exact %#v bytes they had before the field existed — campaign
-// checkpoint hashes are SHA-256 digests of that rendering, and stored
-// payloads from earlier runs must stay addressable.
+// renders through it so configurations that do not use the CPU tune or the
+// parallel scheduler keep the exact %#v bytes they had before those fields
+// existed — campaign checkpoint hashes are SHA-256 digests of that
+// rendering, and stored payloads from earlier runs must stay addressable.
 type legacyWorldConfig struct {
 	Procs      int
 	CPU        platform.CPUModel
@@ -118,9 +167,10 @@ type legacyWorldConfig struct {
 	FinalizeUS float64
 }
 
-// GoString implements fmt.GoStringer (%#v). A zero Tune renders exactly
-// like the pre-Tune WorldConfig; a non-zero Tune appends a Tune field, so
-// tuned machines hash distinctly.
+// GoString implements fmt.GoStringer (%#v). A zero Tune/Sched renders
+// exactly like the pre-Tune WorldConfig; non-default fields are appended,
+// so tuned machines and non-default schedulers hash distinctly while
+// untouched configs keep byte-identical checkpoint hashes and seeds.
 func (c WorldConfig) GoString() string {
 	legacy := legacyWorldConfig{
 		Procs: c.Procs, CPU: c.CPU, Cache: c.Cache, Net: c.Net,
@@ -130,7 +180,52 @@ func (c WorldConfig) GoString() string {
 	if !c.Tune.IsZero() {
 		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", Tune:%#v}", c.Tune)
 	}
+	if c.Sched != Serial {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", Sched:%d}", int(c.Sched))
+	}
+	if c.MaxParallelRanks != 0 {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", MaxParallelRanks:%d}", c.MaxParallelRanks)
+	}
 	return s
+}
+
+// Validate reports whether the configuration describes a runnable machine.
+// It catches misconfigurations — a non-positive rank count, a negative
+// parallel-rank cap, an unknown scheduler mode, negative CPU-tune
+// multipliers — with a clear error before any simulation state exists,
+// instead of a late panic deep inside a run.
+func (c WorldConfig) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("mpi: invalid world config: Procs %d (world size must be positive)", c.Procs)
+	}
+	if c.Sched != Serial && c.Sched != ConservativeParallel {
+		return fmt.Errorf("mpi: invalid world config: unknown scheduler mode %d", int(c.Sched))
+	}
+	if c.MaxParallelRanks < 0 {
+		return fmt.Errorf("mpi: invalid world config: MaxParallelRanks %d (must be >= 0; 0 means no cap)", c.MaxParallelRanks)
+	}
+	if c.Tune.ClockScale < 0 || c.Tune.HitScale < 0 || c.Tune.MissScale < 0 {
+		return fmt.Errorf("mpi: invalid world config: negative CPU tune multiplier %+v", c.Tune)
+	}
+	return nil
+}
+
+// WithRankParallelism returns the config with the scheduler set from a
+// single knob, the shape command-line flags (-rankpar) use: 0 keeps the
+// serial scheduler, n > 0 enables ConservativeParallel capped at n
+// concurrent ranks, and a negative n enables it with no cap. Results are
+// bit-identical either way; only wall-clock time changes.
+func (c WorldConfig) WithRankParallelism(n int) WorldConfig {
+	if n == 0 {
+		return c
+	}
+	c.Sched = ConservativeParallel
+	if n > 0 {
+		c.MaxParallelRanks = n
+	} else {
+		c.MaxParallelRanks = 0
+	}
+	return c
 }
 
 // DefaultConfig returns the paper-calibrated 3-rank world.
@@ -157,19 +252,75 @@ type message struct {
 	seq    uint64
 }
 
+// pendingSend is a send buffered during parallel run-ahead: the message is
+// fully computed (payload copy, arrival time from the sender's clock and
+// RNG) but not yet visible to receivers. It lands in the world mailbox at
+// the sender's next commit turn, in program order, so the mailbox evolves
+// exactly as under the serial scheduler.
+type pendingSend struct {
+	key mailKey
+	msg *message
+}
+
+// blockDesc describes what a blocked rank is waiting on, for deadlock
+// diagnostics. It is a small value stored on every block (the hot path),
+// rendered only if the world deadlocks.
+type blockDesc struct {
+	op       string // MPI entry point, e.g. "MPI_Recv()"
+	comm     int
+	src, tag int
+	pending  int // pending receives (Waitall/Waitsome)
+}
+
+// String renders the description for the deadlock report.
+func (d blockDesc) String() string {
+	if d.op == "" {
+		return "?"
+	}
+	name := strings.TrimSuffix(d.op, "()")
+	switch {
+	case d.pending > 0:
+		return fmt.Sprintf("%s(%d pending receives) on comm %d", name, d.pending, d.comm)
+	case strings.Contains(d.op, "Recv") || strings.Contains(d.op, "Wait"):
+		src := "any"
+		if d.src != AnySource {
+			src = fmt.Sprintf("%d", d.src)
+		}
+		tag := "any"
+		if d.tag != AnyTag {
+			tag = fmt.Sprintf("%d", d.tag)
+		}
+		return fmt.Sprintf("%s(src=%s, tag=%s) on comm %d", name, src, tag, d.comm)
+	default:
+		return fmt.Sprintf("%s on comm %d", name, d.comm)
+	}
+}
+
 // World is the simulated parallel machine. Create one with NewWorld, then
 // call Run with the SCMD body. All exported methods on Comm must be called
 // from within the body, on the goroutine Run started for that rank.
 type World struct {
 	cfg WorldConfig
+	par bool // cfg.Sched == ConservativeParallel
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ranks   []*Rank
-	status  []int
-	blocked []func() bool
-	current int
-	aborted bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ranks     []*Rank
+	status    []int
+	blocked   []func() bool
+	blockedOn []blockDesc
+	current   int
+	aborted   bool
+
+	// Parallel-scheduler state. vclock is each rank's clock as committed at
+	// its last scheduling point: while a rank computes ahead its real clock
+	// advances without the lock, so the scheduler must never read it —
+	// vclock is the serial-replay value the token discipline needs. The
+	// slot fields implement the MaxParallelRanks cap.
+	vclock   []float64
+	slots    int
+	active   int
+	slotHeld []bool
 
 	mailboxes map[mailKey][]*message
 	seq       uint64
@@ -187,6 +338,10 @@ type Rank struct {
 	world *World
 	rank  int
 
+	// pending buffers sends during parallel run-ahead (owner-rank access
+	// only; flushed under the world lock at the rank's commit turns).
+	pending []pendingSend
+
 	// Comm is the rank's MPI_COMM_WORLD analog.
 	Comm *Comm
 	// Proc is the rank's simulated processor (clock, cache, RNG, heap).
@@ -199,11 +354,13 @@ type Rank struct {
 // Rank returns this context's world rank.
 func (r *Rank) Rank() int { return r.rank }
 
-// NewWorld builds the simulated machine. It panics on a non-positive rank
-// count, mirroring an mpirun misconfiguration.
+// NewWorld builds the simulated machine. It panics with the Validate error
+// on a misconfiguration (non-positive rank count, negative parallel-rank
+// cap, ...), mirroring an mpirun misconfiguration; callers that want an
+// error instead should call cfg.Validate first (grid expansion does).
 func NewWorld(cfg WorldConfig) *World {
-	if cfg.Procs <= 0 {
-		panic(fmt.Sprintf("mpi: world size %d", cfg.Procs))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if cfg.InitUS == 0 {
 		cfg.InitUS = 600_000
@@ -213,6 +370,7 @@ func NewWorld(cfg WorldConfig) *World {
 	}
 	w := &World{
 		cfg:        cfg,
+		par:        cfg.Sched == ConservativeParallel,
 		current:    -1,
 		mailboxes:  make(map[mailKey][]*message),
 		colls:      make(map[int]*collState),
@@ -220,6 +378,7 @@ func NewWorld(cfg WorldConfig) *World {
 		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x51ca5e)),
 		status:     make([]int, cfg.Procs),
 		blocked:    make([]func() bool, cfg.Procs),
+		blockedOn:  make([]blockDesc, cfg.Procs),
 		panics:     make([]error, cfg.Procs),
 	}
 	w.cond = sync.NewCond(&w.mu)
@@ -237,6 +396,14 @@ func NewWorld(cfg WorldConfig) *World {
 		r.Comm = &Comm{world: w, id: 0, rank: i, group: group, r: r}
 		w.ranks = append(w.ranks, r)
 		w.status[i] = stReady
+	}
+	if w.par {
+		w.slots = cfg.MaxParallelRanks
+		w.slotHeld = make([]bool, cfg.Procs)
+		w.vclock = make([]float64, cfg.Procs)
+		for i, r := range w.ranks {
+			w.vclock[i] = r.Proc.Now()
+		}
 	}
 	return w
 }
@@ -277,6 +444,13 @@ type abortPanic struct{}
 // finishes. It returns the first rank panic as an error, or a deadlock
 // error if all live ranks blocked on unsatisfiable conditions. A World can
 // only be Run once.
+//
+// Under the serial scheduler each goroutine waits for the execution token
+// before entering body. Under ConservativeParallel every goroutine starts
+// immediately (subject to the MaxParallelRanks cap) and synchronizes with
+// the replayed token order only at communication events; a finishing rank
+// commits its buffered sends at its token turn before going Done, exactly
+// where the serial schedule would have placed them.
 func (w *World) Run(body func(*Rank)) error {
 	var wg sync.WaitGroup
 	for i := 0; i < w.cfg.Procs; i++ {
@@ -292,15 +466,31 @@ func (w *World) Run(body func(*Rank)) error {
 				}
 				w.status[rank] = stDone
 				w.blocked[rank] = nil
+				w.releaseSlotLocked(rank)
 				w.advanceLocked()
 				w.mu.Unlock()
 			}()
-			func() {
-				w.mu.Lock()
-				defer w.mu.Unlock()
-				w.waitForTurnLocked(rank)
-			}()
-			body(w.ranks[rank])
+			if w.par {
+				func() {
+					w.mu.Lock()
+					defer w.mu.Unlock()
+					if !w.acquireSlotLocked(rank) {
+						panic(abortPanic{})
+					}
+				}()
+				body(w.ranks[rank])
+				// Ordered completion: wait for the commit token and flush
+				// any still-buffered sends before the deferred Done.
+				w.lockShared(rank)
+				w.mu.Unlock()
+			} else {
+				func() {
+					w.mu.Lock()
+					defer w.mu.Unlock()
+					w.waitForTurnLocked(rank)
+				}()
+				body(w.ranks[rank])
+			}
 		}(i)
 	}
 	w.mu.Lock()
@@ -326,24 +516,126 @@ func (w *World) waitForTurnLocked(rank int) {
 	w.status[rank] = stRunning
 }
 
+// lockShared acquires the world's shared state for an MPI operation that
+// reads or writes order-sensitive global state (mailboxes, collectives,
+// communicator ids, the collective-cost RNG). In serial mode the calling
+// rank already holds the execution token, so this is just the mutex. In
+// ConservativeParallel mode the rank additionally waits for the commit
+// token — its turn in the replayed serial order — and flushes its buffered
+// sends, so every shared mutation happens in exactly the order the serial
+// scheduler would produce. Callers must pair it with a deferred
+// w.mu.Unlock immediately after it returns.
+func (w *World) lockShared(rank int) {
+	w.mu.Lock()
+	if !w.par {
+		return
+	}
+	if w.current != rank {
+		w.releaseSlotLocked(rank)
+		for w.current != rank {
+			if w.aborted {
+				w.mu.Unlock()
+				panic(abortPanic{})
+			}
+			w.cond.Wait()
+		}
+		if !w.acquireSlotLocked(rank) {
+			w.mu.Unlock()
+			panic(abortPanic{})
+		}
+	}
+	w.status[rank] = stRunning
+	w.flushSendsLocked(rank)
+}
+
+// flushSendsLocked commits the rank's buffered sends to the world
+// mailboxes in program order. Caller must hold w.mu and, in parallel mode,
+// the commit token.
+func (w *World) flushSendsLocked(rank int) {
+	r := w.ranks[rank]
+	for _, ps := range r.pending {
+		w.enqueueLocked(ps.key, ps.msg)
+	}
+	r.pending = r.pending[:0]
+}
+
+// acquireSlotLocked claims a compute slot under the MaxParallelRanks cap,
+// waiting while the cap is saturated. It reports false when the world
+// aborted while waiting. A no-op (true) in serial mode or when the rank
+// already holds a slot.
+func (w *World) acquireSlotLocked(rank int) bool {
+	if !w.par || w.slotHeld[rank] {
+		return !w.aborted
+	}
+	for w.slots > 0 && w.active >= w.slots {
+		if w.aborted {
+			return false
+		}
+		w.cond.Wait()
+	}
+	if w.aborted {
+		return false
+	}
+	w.active++
+	w.slotHeld[rank] = true
+	return true
+}
+
+// releaseSlotLocked returns the rank's compute slot, waking slot waiters.
+func (w *World) releaseSlotLocked(rank int) {
+	if !w.par || !w.slotHeld[rank] {
+		return
+	}
+	w.active--
+	w.slotHeld[rank] = false
+	w.cond.Broadcast()
+}
+
+// schedClockLocked returns rank r's virtual clock as the scheduler may
+// safely observe it. In parallel mode a rank that is neither blocked nor
+// done may be advancing its clock concurrently without the lock, so the
+// scheduler reads the value committed at the rank's last scheduling point
+// instead — which is exactly the clock the serial scheduler would see.
+func (w *World) schedClockLocked(r int) float64 {
+	if w.par {
+		switch w.status[r] {
+		case stBlocked, stDone:
+			return w.ranks[r].Proc.Now()
+		}
+		return w.vclock[r]
+	}
+	return w.ranks[r].Proc.Now()
+}
+
 // blockOn parks the running rank until pred() holds, handing the token to
-// the runnable rank with the smallest virtual clock meanwhile.
+// the runnable rank with the smallest virtual clock meanwhile. on
+// describes the awaited communication for deadlock diagnostics.
 // Caller must hold w.mu and be the current rank.
-func (w *World) blockOn(rank int, pred func() bool) {
+func (w *World) blockOn(rank int, on blockDesc, pred func() bool) {
 	if pred() {
 		return
 	}
+	if w.par {
+		w.vclock[rank] = w.ranks[rank].Proc.Now()
+		w.releaseSlotLocked(rank)
+	}
 	w.status[rank] = stBlocked
 	w.blocked[rank] = pred
+	w.blockedOn[rank] = on
 	w.advanceLocked()
 	w.waitForTurnLocked(rank)
+	if w.par && !w.acquireSlotLocked(rank) {
+		panic(abortPanic{})
+	}
 	w.blocked[rank] = nil
+	w.blockedOn[rank] = blockDesc{}
 }
 
 // advanceLocked promotes blocked ranks whose predicates now hold and grants
 // the token to the ready rank with the smallest (clock, rank). If no rank
 // can run and not all are done, the world is deadlocked: every parked rank
-// is woken into a panic.
+// is woken into a panic carrying the per-rank state dump and the pending
+// lookahead horizon.
 func (w *World) advanceLocked() {
 	if w.aborted {
 		w.current = -1
@@ -361,7 +653,7 @@ func (w *World) advanceLocked() {
 		switch w.status[r] {
 		case stReady:
 			allDone = false
-			t := w.ranks[r].Proc.Now()
+			t := w.schedClockLocked(r)
 			if next == -1 || t < best {
 				next, best = r, t
 			}
@@ -374,13 +666,78 @@ func (w *World) advanceLocked() {
 		// Every live rank is blocked: deadlock. Abort the world so the
 		// parked goroutines panic with diagnostics instead of hanging.
 		w.aborted = true
+		report := w.deadlockReportLocked()
 		for r := range w.status {
 			if w.status[r] == stBlocked {
-				w.panics[r] = fmt.Errorf("mpi: deadlock: rank %d blocked at t=%.3fus with no matching communication", r, w.ranks[r].Proc.Now())
+				w.panics[r] = fmt.Errorf("mpi: deadlock: rank %d blocked at t=%.3fus in %s with no matching communication\n%s",
+					r, w.ranks[r].Proc.Now(), w.blockedOn[r], report)
 			}
 		}
 	}
 	w.cond.Broadcast()
+}
+
+// deadlockReportLocked renders the per-rank state dump plus the pending
+// lookahead horizon that advanceLocked attaches to deadlock errors.
+func (w *World) deadlockReportLocked() string {
+	var sb strings.Builder
+	sb.WriteString("world state at deadlock:\n")
+	for r := range w.status {
+		t := w.schedClockLocked(r)
+		switch w.status[r] {
+		case stDone:
+			fmt.Fprintf(&sb, "  rank %d: done at t=%.3fus\n", r, t)
+		case stBlocked:
+			fmt.Fprintf(&sb, "  rank %d: blocked at t=%.3fus in %s\n", r, t, w.blockedOn[r])
+		default:
+			fmt.Fprintf(&sb, "  rank %d: runnable at t=%.3fus\n", r, t)
+		}
+	}
+	if earliest, n := w.pendingArrivalLocked(); n > 0 {
+		fmt.Fprintf(&sb, "  %d undelivered message(s), earliest arrival t=%.3fus (none match a posted receive)\n", n, earliest)
+	} else {
+		sb.WriteString("  no messages in flight\n")
+	}
+	if h := w.lookaheadHorizonLocked(); !math.IsInf(h, 1) {
+		fmt.Fprintf(&sb, "  pending lookahead horizon: t=%.3fus (min of queued arrivals and live clocks + %.3fus net latency)\n",
+			h, w.cfg.Net.LatencyUS)
+	}
+	return sb.String()
+}
+
+// pendingArrivalLocked returns the earliest virtual arrival time over all
+// queued (undelivered) messages and how many are queued.
+func (w *World) pendingArrivalLocked() (earliest float64, n int) {
+	earliest = math.Inf(1)
+	for _, box := range w.mailboxes {
+		for _, m := range box {
+			n++
+			if m.arrive < earliest {
+				earliest = m.arrive
+			}
+		}
+	}
+	return earliest, n
+}
+
+// lookaheadHorizonLocked computes the conservative lookahead horizon: the
+// earliest virtual time at which any parked rank could observe new input.
+// It is the minimum over (a) queued message arrival times and (b) every
+// live rank's committed clock plus the network model's minimum
+// point-to-point latency — no rank can cause an event earlier than that.
+// Ranks whose next interaction lies beyond this horizon are the ones the
+// parallel scheduler lets run ahead concurrently.
+func (w *World) lookaheadHorizonLocked() float64 {
+	h, _ := w.pendingArrivalLocked()
+	for r := range w.status {
+		if w.status[r] == stDone {
+			continue
+		}
+		if t := w.schedClockLocked(r) + w.cfg.Net.LatencyUS; t < h {
+			h = t
+		}
+	}
+	return h
 }
 
 // enqueueLocked places a message in a mailbox.
