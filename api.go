@@ -12,6 +12,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/results"
 	"repro/internal/results/store"
+	"repro/internal/results/store/lease"
 )
 
 // Re-exported configuration and result types of the experiment harness.
@@ -107,6 +108,20 @@ type (
 	// CheckpointStore persists finished campaign-job payloads keyed by
 	// (job key, config hash) under a cache directory.
 	CheckpointStore = store.Store
+	// Claimer arbitrates job ownership among independent campaign
+	// processes partitioning one grid over a shared store.
+	Claimer = campaign.Claimer
+	// ClaimState is a Claimer's verdict on one job: busy, run here, or
+	// completed elsewhere.
+	ClaimState = campaign.ClaimState
+	// LeaseManager is the file-based Claimer: per-job lease files under the
+	// shared store directory, with heartbeats and stale-lease stealing, so
+	// N processes split a grid with zero duplicated executions and no
+	// coordinator.
+	LeaseManager = lease.Manager
+	// LeaseOptions tunes the lease protocol (heartbeat TTL and renewal
+	// interval).
+	LeaseOptions = lease.Options
 
 	// TrendReport is one kernel's coefficient-vs-axis analysis.
 	TrendReport = harness.TrendReport
@@ -235,6 +250,38 @@ func StreamSweepGrid(ctx context.Context, cc CampaignConfig, base SweepConfig, g
 // OpenStore opens (creating if needed) a checkpoint store directory for
 // CampaignConfig.Store.
 func OpenStore(dir string) (*CheckpointStore, error) { return store.Open(dir) }
+
+// Claim states a Claimer reports: held by another live process (retry
+// later), granted to the caller (run, then Release), or completed
+// elsewhere (the store holds the payload).
+const (
+	ClaimBusy = campaign.ClaimBusy
+	ClaimRun  = campaign.ClaimRun
+	ClaimDone = campaign.ClaimDone
+)
+
+// OpenLeaseManager attaches a lease-protocol Claimer for the given worker
+// identity to a shared store; set it as CampaignConfig.Claimer alongside
+// the store and Close it after the campaign returns.
+func OpenLeaseManager(st *CheckpointStore, owner string, opts LeaseOptions) (*LeaseManager, error) {
+	return lease.Open(st, owner, opts)
+}
+
+// DistributedCampaignConfig equips a campaign config for coordinator-free
+// multi-process execution against the shared store directory: each job
+// runs in exactly one of the processes and is replayed from the store by
+// the rest, so every process's output is byte-identical to a
+// single-process run. Close the returned manager after the campaign.
+func DistributedCampaignConfig(cc CampaignConfig, dir, owner string, opts LeaseOptions) (CampaignConfig, *LeaseManager, error) {
+	return harness.DistributedConfig(cc, dir, owner, opts)
+}
+
+// ReadLeaseAudit collects every worker's completed-execution log under a
+// shared store: job key to the owners that executed it. One owner per key
+// proves a campaign ran with zero duplicated executions.
+func ReadLeaseAudit(st *CheckpointStore) (map[string][]string, error) {
+	return lease.ReadAudit(st)
+}
 
 // NewMemorySink returns a Sink buffering rows per key in memory.
 func NewMemorySink() *MemorySink { return results.NewMemorySink() }

@@ -25,6 +25,15 @@
 // (-cache, default <out>/.cache), so an interrupted regeneration resumed
 // with the same flags re-runs zero completed jobs and still produces
 // byte-identical output.
+//
+// With -distributed, several such processes pointed at one shared -cache
+// directory (typically over a network filesystem) partition the job set
+// among themselves with no coordinator: each job is claimed through a
+// lease file, executed by exactly one process, and replayed from the
+// store by the rest, so every process still renders the complete,
+// byte-identical output set into its own -out directory. Give each
+// process a distinct stable -owner id; a process that dies mid-run stops
+// heartbeating and its jobs are stolen by the survivors after -leasettl.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/results"
 	"repro/internal/results/store"
+	"repro/internal/results/store/lease"
 )
 
 func main() {
@@ -61,6 +71,9 @@ func main() {
 		axis    = flag.String("axis", "cache_kb", "trend grid axis for -fig trend: cache_kb | cpu_clock")
 		trReps  = flag.Int("trendreps", 2, "seed replications per trend grid point")
 		rankpar = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (conservative parallel scheduler; output is bit-identical to serial). 0 = serial scheduler, -1 = parallel with no cap. Non-default values checkpoint separately")
+		distrib = flag.Bool("distributed", false, "partition the job set with other -distributed processes sharing the same -cache store via lease files (no coordinator); requires a store")
+		owner   = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
+		ttl     = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -93,11 +106,26 @@ func main() {
 			}
 		},
 	}
-	switch *cache {
-	case "off":
-	case "auto":
+	var mgr *lease.Manager
+	if *distrib && (*cache == "auto" || *cache == "off") {
+		// The default per-out-directory store would give every process a
+		// private store: each would run the whole grid and no audit would
+		// notice. The shared directory must be named explicitly.
+		fatal(fmt.Errorf("-distributed needs one store shared by every process; pass the same explicit -cache <dir> to all of them"))
+	}
+	if *cache == "auto" {
 		*cache = filepath.Join(*outDir, ".cache")
-		fallthrough
+	}
+	switch {
+	case *cache == "off":
+	case *distrib:
+		// Distributed mode: the store is shared with the other processes
+		// and every checkpointable job is arbitrated through a lease.
+		var err error
+		cfg, mgr, err = harness.DistributedConfig(cfg, *cache, *owner, lease.Options{TTL: *ttl})
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		st, err := store.Open(*cache)
 		if err != nil {
@@ -129,6 +157,19 @@ func main() {
 	_, err = campaign.Run(context.Background(), cfg, jobs)
 	if cerr := sink.Close(); err == nil {
 		err = cerr
+	}
+	if mgr != nil {
+		// This process's share of the partition; the union across all
+		// owners' audit logs proves every job executed exactly once.
+		note := ""
+		if n := mgr.Lost(); n > 0 {
+			note = fmt.Sprintf(" (%d lease(s) lost to stealers)", n)
+		}
+		fmt.Printf("distributed: owner %s executed %d of %d job(s)%s\n",
+			mgr.Owner(), len(mgr.Executed()), len(jobs), note)
+		if cerr := mgr.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fatal(err)

@@ -150,6 +150,50 @@
 //     emitted by "cmd/figures -fig trend [-axis cpu_clock]" and
 //     "cmd/pmmcase -report [-axis cpu_clock]".
 //
+// # Distributed campaigns
+//
+// The checkpoint store is content-addressed and atomic, so several hosts
+// can share one store directory over a network filesystem — and the lease
+// protocol (results/store/lease, re-exported as LeaseManager) lets N
+// independent processes partition one grid through it with no
+// coordinator. Set CampaignConfig.Claimer (OpenLeaseManager, or
+// DistributedCampaignConfig to wire store and claimer together) and point
+// every process at the same store:
+//
+//   - lease lifecycle: a worker claims a job by creating its lease file
+//     exclusively (the record is written to a temp file and link(2)ed
+//     into place, so it appears atomically and fully written); a held
+//     lease is rewritten with a fresh heartbeat timestamp every
+//     LeaseOptions.Heartbeat; the claim is released — audit line first,
+//     then lease removal — after the job's checkpoint is stored, at which
+//     point the payload answers every later claim with "done";
+//   - jobs claimed by another live process are deferred, not blocked on:
+//     workers move to other ready jobs and re-probe every
+//     CampaignConfig.ClaimBackoff, decoding the payload (and replaying
+//     its rows) once it appears — so each process's sinks and rendered
+//     files stay byte-identical to a single-process run while each
+//     scenario executes exactly once across the fleet, as the per-owner
+//     audit logs under <store>/leases/ prove;
+//   - crashed workers stop heartbeating: once a lease's heartbeat is
+//     older than LeaseOptions.TTL, any claimant steals it (rename-aside
+//     with exactly one winner, then an ordinary exclusive re-claim), so
+//     the grid always drains;
+//   - heartbeat/expiry knobs: TTL defaults to 30s and the renewal
+//     interval to TTL/4. Choose TTL well above worst-case clock skew
+//     between hosts and the filesystem's attribute-cache delay; a live
+//     worker that stalls past TTL can have its job stolen and executed
+//     twice, which the deterministic byte-identical payloads make
+//     harmless but the audit makes visible;
+//   - NFS caveats: the exclusive-link claim and rename-based steal need
+//     NFSv3+ semantics, hosts should be NTP-synchronized, and attribute
+//     caching (acregmin/acregmax) delays cross-host visibility of fresh
+//     checkpoints — generous TTLs and ClaimBackoffs absorb both.
+//
+// "cmd/figures -distributed -owner <id> -cache <shared dir>" and
+// "cmd/pmmcase -distributed -owner <id> -cache <shared dir>" run this
+// mode from the command line; hosts x campaign workers x parallel ranks
+// compose multiplicatively.
+//
 // This package is the facade: it re-exports the experiment harness and the
 // campaign engine that regenerate every figure of the paper's evaluation.
 // The underlying packages live in internal/.

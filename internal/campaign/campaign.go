@@ -12,6 +12,13 @@
 // The executor supports job dependencies (Job.After), context
 // cancellation, fail-fast or run-to-completion error aggregation, and
 // serialized progress reporting.
+//
+// With a Store, completed jobs checkpoint and interrupted campaigns
+// resume; with a Claimer on top (results/store/lease), N independent
+// campaign processes sharing one store partition the job set among
+// themselves — each job executes in exactly one process and the rest
+// replay its stored payload, so every process's output stays
+// byte-identical to a single-process run.
 package campaign
 
 import (
@@ -112,6 +119,59 @@ type Config struct {
 	// sink is flushed (not closed) when the campaign returns; flush errors
 	// join the campaign error.
 	Sink results.Sink
+	// Claimer, when set alongside Store, coordinates this campaign with
+	// other independent processes partitioning the same job set over the
+	// same store (results/store/lease implements it). Before running a
+	// fully checkpointable job (Hash, Encode and Decode all set) that the
+	// store does not yet hold, the worker claims it: a ClaimRun runs the
+	// job here and releases the claim after the checkpoint is saved; a
+	// ClaimDone decodes the payload another process stored (replaying its
+	// rows), so this campaign's sink output stays byte-identical to a
+	// single-process run; a ClaimBusy defers the job — the worker moves on
+	// to other ready jobs and re-tries claimed-elsewhere ones every
+	// ClaimBackoff until each is won, stolen or completed.
+	Claimer Claimer
+	// ClaimBackoff is the poll interval while every runnable job is
+	// claimed by another process. Zero means 25ms.
+	ClaimBackoff time.Duration
+}
+
+// ClaimState is a Claimer's verdict on one job.
+type ClaimState int
+
+const (
+	// ClaimBusy: another live process holds the job; re-try later.
+	ClaimBusy ClaimState = iota
+	// ClaimRun: the caller now owns the job and must Release it when the
+	// run (and checkpoint save) finishes.
+	ClaimRun
+	// ClaimDone: another process completed the job; the store holds its
+	// payload.
+	ClaimDone
+)
+
+// String renders the state for diagnostics.
+func (s ClaimState) String() string {
+	switch s {
+	case ClaimBusy:
+		return "busy"
+	case ClaimRun:
+		return "run"
+	case ClaimDone:
+		return "done"
+	}
+	return fmt.Sprintf("ClaimState(%d)", int(s))
+}
+
+// Claimer arbitrates job ownership among independent campaign processes
+// sharing one checkpoint store. TryClaim must grant ClaimRun for a given
+// (key, hash) to at most one live claimant at a time, and must report
+// ClaimDone once the store holds the job's payload; Release gives a granted
+// claim back, with completed reporting whether the payload was stored.
+// Implementations must be safe for concurrent use by campaign workers.
+type Claimer interface {
+	TryClaim(key, hash string) (ClaimState, error)
+	Release(key, hash string, completed bool) error
 }
 
 // Store is the checkpoint interface the campaign consults for jobs with a
@@ -285,13 +345,15 @@ type runState struct {
 	states []state
 	index  map[string]int // job key -> slice position
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ready   []int // indices with no unmet deps, ascending
-	results []Result
-	pending []Event // settled but undelivered progress events
-	done    int
-	total   int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    []int // indices with no unmet deps, ascending
+	deferred []int // runnable jobs currently claimed by another process
+	polling  bool  // one worker is sleeping a claim-backoff interval
+	results  []Result
+	pending  []Event // settled but undelivered progress events
+	done     int
+	total    int
 }
 
 // dispatch delivers queued progress events in settle order, decoupling the
@@ -318,12 +380,20 @@ func (r *runState) dispatch(done chan struct{}) {
 }
 
 // work is one worker's loop: claim the lowest-index ready job, run it,
-// settle it, repeat until every job has settled.
+// settle it, repeat until every job has settled. Jobs a Claimer reports
+// busy (claimed by another process) are deferred, not settled: when the
+// ready list drains with deferred jobs outstanding, one worker sleeps a
+// claim-backoff interval and requeues them, so the campaign keeps probing
+// until every job is won, stolen or observed completed in the store.
 func (r *runState) work() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
 		for len(r.ready) == 0 && r.done < r.total {
+			if len(r.deferred) > 0 && !r.polling {
+				r.pollLocked()
+				continue
+			}
 			r.cond.Wait()
 		}
 		if len(r.ready) == 0 {
@@ -342,10 +412,41 @@ func (r *runState) work() {
 			deps[dep] = r.results[r.index[dep]].Value
 		}
 		r.mu.Unlock()
-		v, elapsed, cached, err := r.execute(job, deps)
+		v, elapsed, cached, busy, err := r.execute(job, deps)
 		r.mu.Lock()
+		if busy {
+			r.deferred = append(r.deferred, i)
+			continue
+		}
 		r.settleLocked(i, v, err, elapsed, cached)
 	}
+}
+
+// pollLocked parks the calling worker for one claim-backoff interval and
+// then requeues every deferred job. Exactly one worker polls at a time
+// (r.polling); the rest wait on the condition variable and wake when the
+// poller broadcasts. Caller holds r.mu; the lock is released while
+// sleeping. Context cancellation cuts the sleep short — the requeued jobs
+// then settle with the context's error as workers pick them up.
+func (r *runState) pollLocked() {
+	r.polling = true
+	backoff := r.cfg.ClaimBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	r.mu.Unlock()
+	t := time.NewTimer(backoff)
+	select {
+	case <-t.C:
+	case <-r.ctx.Done():
+		t.Stop()
+	}
+	r.mu.Lock()
+	r.ready = append(r.ready, r.deferred...)
+	sort.Ints(r.ready)
+	r.deferred = r.deferred[:0]
+	r.polling = false
+	r.cond.Broadcast()
 }
 
 // execute satisfies one claimed job: from the checkpoint store when the
@@ -356,21 +457,56 @@ func (r *runState) work() {
 // of re-running it, since a re-run would duplicate the replayed rows; and
 // a failure to save a finished result is a job error — silently losing the
 // checkpoint would make "resume re-runs nothing" a lie.
-func (r *runState) execute(job Job, deps map[string]any) (any, time.Duration, bool, error) {
+//
+// With a Claimer configured, a fully checkpointable job that misses the
+// store is arbitrated before running: busy=true reports that another
+// process holds it (the scheduler defers and re-tries), ClaimDone decodes
+// the payload that process stored, and ClaimRun runs the job here under
+// the claim, releasing it after the checkpoint save so other processes
+// flip from busy to done without ever re-executing the job.
+func (r *runState) execute(job Job, deps map[string]any) (v any, elapsed time.Duration, cached, busy bool, err error) {
 	start := time.Now()
 	checkpointed := job.Hash != "" && r.cfg.Store != nil
 	if checkpointed && job.Decode != nil {
-		if data, ok, err := r.cfg.Store.Get(job.Key, job.Hash); err == nil && ok {
+		if data, ok, gerr := r.cfg.Store.Get(job.Key, job.Hash); gerr == nil && ok {
 			v, derr := job.Decode(r.ctx, data)
 			if derr == nil {
-				return v, time.Since(start), true, nil
+				return v, time.Since(start), true, false, nil
 			}
 			if errors.Is(derr, ErrReplay) {
-				return nil, time.Since(start), true, derr
+				return nil, time.Since(start), true, false, derr
 			}
 		}
 	}
-	v, err := job.Run(r.ctx, deps)
+	claimed := false
+	if r.cfg.Claimer != nil && checkpointed && job.Encode != nil && job.Decode != nil {
+		state, cerr := r.cfg.Claimer.TryClaim(job.Key, job.Hash)
+		if cerr != nil {
+			return nil, time.Since(start), false, false, fmt.Errorf("claim: %w", cerr)
+		}
+		switch state {
+		case ClaimBusy:
+			return nil, 0, false, true, nil
+		case ClaimDone:
+			// The store holds the payload another process saved. A decode
+			// failure here is a loud job error, not a cache miss: re-running
+			// a job the protocol proved completed elsewhere would duplicate
+			// its execution (and its replayed rows).
+			data, ok, gerr := r.cfg.Store.Get(job.Key, job.Hash)
+			if gerr != nil || !ok {
+				return nil, time.Since(start), false, false,
+					fmt.Errorf("claim reported done but store get failed (ok=%v): %w", ok, gerr)
+			}
+			dv, derr := job.Decode(r.ctx, data)
+			if derr != nil {
+				return nil, time.Since(start), true, false, fmt.Errorf("claimed checkpoint decode: %w", derr)
+			}
+			return dv, time.Since(start), true, false, nil
+		case ClaimRun:
+			claimed = true
+		}
+	}
+	v, err = job.Run(r.ctx, deps)
 	if err == nil && checkpointed && job.Encode != nil {
 		if data, eerr := job.Encode(v); eerr != nil {
 			err = fmt.Errorf("checkpoint encode: %w", eerr)
@@ -378,10 +514,15 @@ func (r *runState) execute(job Job, deps map[string]any) (any, time.Duration, bo
 			err = fmt.Errorf("checkpoint save: %w", perr)
 		}
 	}
+	if claimed {
+		if rerr := r.cfg.Claimer.Release(job.Key, job.Hash, err == nil); rerr != nil && err == nil {
+			err = fmt.Errorf("claim release: %w", rerr)
+		}
+	}
 	if err != nil {
 		v = nil
 	}
-	return v, time.Since(start), false, err
+	return v, time.Since(start), false, false, err
 }
 
 // settleLocked records a job's outcome, releases or skips its dependents,

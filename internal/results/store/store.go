@@ -10,6 +10,22 @@
 // gets a fresh slot while stale entries from earlier configurations are
 // simply never consulted again. Writes go through a temp file plus rename,
 // so a crash mid-Put never leaves a torn entry behind.
+//
+// # Concurrent Put and Get ordering
+//
+// The store's only mutation is rename(2), which replaces a directory entry
+// atomically, so the read-after-rename guarantee is: a Get concurrent with
+// a Put of the same slot observes either the complete previous state — the
+// old payload, or absence if the slot was empty — or the complete new
+// payload, never a torn prefix or a mix. Once Put has returned, every Get
+// that happens after it (in the usual happens-before sense: same process
+// synchronization, or cross-process ordering such as the lease protocol's
+// claim handoff) observes the new payload on a POSIX filesystem. Multiple
+// concurrent Puts to one slot are each atomic and last-writer-wins; the
+// campaign layer only ever writes deterministic, byte-identical payloads
+// for one (key, hash), so the race is benign there. Over NFS, client
+// attribute caching can delay another host's view of a fresh entry — see
+// the lease package for the knobs that absorb that delay.
 package store
 
 import (
@@ -43,11 +59,32 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// path maps an identity pair to its content address.
-func (s *Store) path(key, hash string) string {
+// Addr returns the content address of the identity pair: the hex SHA-256
+// digest that names the entry's file (without the ".ckpt" extension).
+// Companion subsystems key their own per-job files by the same address —
+// the lease claim protocol (store/lease) names its lease files this way so
+// one job maps to exactly one lease slot and one checkpoint slot.
+func (s *Store) Addr(key, hash string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%s", key, hash)
-	return filepath.Join(s.dir, hex.EncodeToString(h.Sum(nil))+".ckpt")
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps an identity pair to its entry file.
+func (s *Store) path(key, hash string) string {
+	return filepath.Join(s.dir, s.Addr(key, hash)+".ckpt")
+}
+
+// Has reports whether an entry exists for (key, hash) without reading its
+// payload — one stat, cheap enough for claim-protocol polling loops.
+func (s *Store) Has(key, hash string) (bool, error) {
+	if _, err := os.Stat(s.path(key, hash)); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: has %q: %w", key, err)
+	}
+	return true, nil
 }
 
 // Get returns the payload stored for (key, hash), with ok reporting

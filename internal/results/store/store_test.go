@@ -3,7 +3,9 @@ package store
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -101,6 +103,89 @@ func TestPutLeavesNoTempFiles(t *testing.T) {
 		if strings.HasPrefix(e.Name(), ".put-") {
 			t.Errorf("leftover temp file %s", e.Name())
 		}
+	}
+}
+
+// TestConcurrentSameSlotPutGet pins the read-after-rename guarantee the
+// package comment documents: a Get racing overwriting Puts of one slot
+// sees either the complete old payload, the complete new one, or (before
+// the first Put lands) a clean miss — never a torn prefix or a mix. Run
+// under -race in CI, this also proves Put/Get share no unsynchronized
+// process state.
+func TestConcurrentSameSlotPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full-sized distinguishable payloads: a torn read would mix them
+	// or truncate one.
+	a := bytes.Repeat([]byte{'a'}, 8192)
+	b := bytes.Repeat([]byte{'b'}, 8192)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w, payload := range [][]byte{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				if err := s.Put("slot", "h", payload); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, ok, err := s.Get("slot", "h")
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if !ok {
+					continue // before the first Put lands: a clean miss
+				}
+				if !bytes.Equal(got, a) && !bytes.Equal(got, b) {
+					t.Errorf("torn read: %d bytes starting %q", len(got), got[:min(8, len(got))])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	got, ok, err := s.Get("slot", "h")
+	if err != nil || !ok || (!bytes.Equal(got, a) && !bytes.Equal(got, b)) {
+		t.Fatalf("final read: ok=%v err=%v len=%d", ok, err, len(got))
+	}
+}
+
+func TestAddrMatchesEntryFileName(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", "h", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr("k", "h")
+	if len(addr) != 64 {
+		t.Fatalf("addr length %d", len(addr))
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), addr+".ckpt")); err != nil {
+		t.Errorf("entry not at Addr-derived path: %v", err)
+	}
+	if ok, err := s.Has("k", "h"); err != nil || !ok {
+		t.Errorf("has = %v, %v", ok, err)
+	}
+	if ok, err := s.Has("k", "other"); err != nil || ok {
+		t.Errorf("has missing = %v, %v", ok, err)
 	}
 }
 
