@@ -77,8 +77,14 @@ type (
 	CPUTune = mpi.CPUTune
 	// SchedulerMode selects how a simulated world schedules its ranks: the
 	// zero value is the serial token scheduler; ConservativeParallel runs
-	// rank compute concurrently with bit-for-bit identical results.
+	// rank compute concurrently; OptimisticParallel speculates past
+	// order-sensitive communication with rollback. All modes produce
+	// bit-for-bit identical results.
 	SchedulerMode = mpi.SchedulerMode
+	// SpecStats is the optimistic scheduler's speculation telemetry
+	// (published sends, pipelined ops, conflicts, rollbacks, re-executed
+	// virtual time).
+	SpecStats = mpi.SpecStats
 	// SchedChoice is one value of the scheduler grid axis: a mode plus its
 	// parallel-rank cap.
 	SchedChoice = campaign.SchedChoice
@@ -151,12 +157,15 @@ const (
 )
 
 // Scheduler modes for WorldConfig.Sched: the serial token scheduler (the
-// zero value) and the conservative parallel-rank scheduler, which runs
-// rank compute segments concurrently while producing bit-for-bit identical
-// profiles, clocks and outputs.
+// zero value); the conservative parallel-rank scheduler, which runs rank
+// compute segments concurrently; and the optimistic (Time Warp) scheduler,
+// which additionally speculates past order-sensitive communication under
+// an undo log and rolls back on conflicts. All three produce bit-for-bit
+// identical profiles, clocks and outputs.
 const (
 	SchedSerial               = mpi.Serial
 	SchedConservativeParallel = mpi.ConservativeParallel
+	SchedOptimisticParallel   = mpi.OptimisticParallel
 )
 
 // DefaultCaseStudy returns the calibrated paper configuration (3 ranks,
@@ -313,10 +322,11 @@ func CPUClockAxis(s ...float64) Dimension   { return campaign.CPUClockAxis(s...)
 func MeshAxis(meshes ...MeshSize) Dimension { return campaign.MeshAxis(meshes...) }
 func FluxAxis(fluxes ...string) Dimension   { return campaign.FluxAxis(fluxes...) }
 
-// SchedAxis and SchedModeAxis sweep the rank scheduler (serial vs
-// conservative parallel). The axis is seed-inert: scenarios differing only
-// in scheduler share a derived seed, so a grid can verify at scale that
-// the parallel scheduler reproduces serial results bit for bit.
+// SchedAxis and SchedModeAxis sweep the rank scheduler (serial,
+// conservative parallel, optimistic parallel). The axis is seed-inert:
+// scenarios differing only in scheduler share a derived seed, so a grid
+// can verify at scale that the parallel schedulers reproduce serial
+// results bit for bit.
 func SchedAxis(choices ...SchedChoice) Dimension { return campaign.SchedAxis(choices...) }
 func SchedModeAxis(modes ...SchedulerMode) Dimension {
 	return campaign.SchedModeAxis(modes...)

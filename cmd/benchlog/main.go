@@ -1,0 +1,294 @@
+// Command benchlog maintains the repository's checked-in benchmark
+// trajectory and gates regressions against it.
+//
+// Write mode appends a snapshot of the benchmark suite to a JSON log:
+//
+//	go run ./cmd/benchlog -out BENCH_0006.json
+//
+// It runs the suite (BenchmarkWorldRun, BenchmarkGridScenarios,
+// BenchmarkLeaseClaim, BenchmarkCSVShardSink) through "go test -bench"
+// with -benchtime=1x -count=3 -benchmem, normalizes each benchmark to the
+// minimum ns/op and allocs/op across the repetitions (the minimum is the
+// least noisy location statistic for a quiet machine), and appends one run
+// — host fingerprint plus the normalized results — to the log file.
+//
+// Check mode re-runs the same suite and compares it against the newest
+// checked-in BENCH_*.json:
+//
+//	go run ./cmd/benchlog -check
+//
+// A benchmark whose ns/op exceeds the baseline by more than -threshold
+// (default 25%) is a regression and the command exits 1. Two escapes are
+// built in, both deliberate:
+//
+//   - Host mismatch: wall-clock baselines only mean something on the host
+//     class that produced them. When the current host's fingerprint (GOOS,
+//     GOARCH, CPU model, CPU count) differs from the baseline's, the
+//     comparison is reported but the exit code stays 0. To arm the gate on
+//     a new host class, append a run from that class to the log.
+//   - BENCHLOG_ACCEPT_REGRESSION=1 in the environment downgrades a failing
+//     check to a warning — the escape hatch for a PR that knowingly trades
+//     benchmark time for something else. Use it in the PR that documents
+//     the trade, then refresh the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is the benchmark set the trajectory tracks: the scheduler
+// benchmarks plus the hot paths of the campaign and results layers.
+var suite = []struct{ pkg, bench string }{
+	{"repro", "^BenchmarkWorldRun$"},
+	{"repro/internal/campaign", "^BenchmarkGridScenarios$"},
+	{"repro/internal/results", "^BenchmarkCSVShardSink$"},
+	{"repro/internal/results/store/lease", "^BenchmarkLeaseClaim$"},
+}
+
+// Host is the fingerprint a baseline is only comparable within.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+func (h Host) comparable(o Host) bool {
+	return h.GOOS == o.GOOS && h.GOARCH == o.GOARCH && h.CPU == o.CPU && h.NumCPU == o.NumCPU
+}
+
+// Result is one benchmark's normalized measurement: the minimum across the
+// run's -count repetitions.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Run is one appended snapshot of the suite.
+type Run struct {
+	Unix    int64    `json:"unix"`
+	Host    Host     `json:"host"`
+	Results []Result `json:"results"`
+}
+
+// File is the whole trajectory log.
+type File struct {
+	Schema int   `json:"schema"`
+	Runs   []Run `json:"runs"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "append a suite snapshot to this JSON log (write mode)")
+		check     = flag.Bool("check", false, "re-run the suite and compare against the newest BENCH_*.json (check mode)")
+		against   = flag.String("against", "", "baseline log for -check (default: lexically newest BENCH_*.json in the working directory)")
+		threshold = flag.Float64("threshold", 0.25, "relative ns/op growth above which -check fails (0.25 = +25%)")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime per repetition")
+		count     = flag.Int("count", 3, "go test -count repetitions; results keep the minimum")
+	)
+	flag.Parse()
+	if (*out == "") == !*check {
+		fmt.Fprintln(os.Stderr, "benchlog: need exactly one of -out <file> or -check")
+		os.Exit(2)
+	}
+
+	host, results, err := runSuite(*benchtime, *count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchlog:", err)
+		os.Exit(2)
+	}
+	if *check {
+		os.Exit(checkRun(*against, *threshold, host, results))
+	}
+	if err := appendRun(*out, Run{Unix: time.Now().Unix(), Host: host, Results: results}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchlog:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchlog: appended %d benchmark(s) to %s\n", len(results), *out)
+}
+
+// benchLine matches one "go test -bench" result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// runSuite executes every suite entry and returns the host fingerprint and
+// the per-benchmark minima across repetitions.
+func runSuite(benchtime string, count int) (Host, []Result, error) {
+	host := Host{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()}
+	min := map[string]*Result{}
+	var order []string
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "benchlog: running %s in %s\n", s.bench, s.pkg)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", s.bench,
+			"-benchtime", benchtime, "-count", strconv.Itoa(count), "-benchmem", s.pkg)
+		outBytes, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return host, nil, fmt.Errorf("%s: %v\n%s\n%s", s.pkg, err, outBytes, ee.Stderr)
+			}
+			return host, nil, fmt.Errorf("%s: %v", s.pkg, err)
+		}
+		sc := bufio.NewScanner(strings.NewReader(string(outBytes)))
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+				host.CPU = strings.TrimSpace(cpu)
+				continue
+			}
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			name := m[1]
+			ns, allocs, ok := parseMetrics(m[2])
+			if !ok {
+				continue
+			}
+			r := min[name]
+			if r == nil {
+				min[name] = &Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+				order = append(order, name)
+				continue
+			}
+			if ns < r.NsPerOp {
+				r.NsPerOp = ns
+			}
+			if allocs < r.AllocsPerOp {
+				r.AllocsPerOp = allocs
+			}
+		}
+	}
+	if len(order) == 0 {
+		return host, nil, fmt.Errorf("no benchmark results parsed")
+	}
+	results := make([]Result, len(order))
+	for i, name := range order {
+		results[i] = *min[name]
+	}
+	return host, results, nil
+}
+
+// parseMetrics pulls ns/op and allocs/op out of a bench line's metric
+// pairs ("123.4 ns/op  16 B/op  2 allocs/op  5 custom-metric").
+func parseMetrics(s string) (ns, allocs float64, ok bool) {
+	f := strings.Fields(s)
+	for i := 0; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			ns, ok = v, true
+		case "allocs/op":
+			allocs = v
+		}
+	}
+	return ns, allocs, ok
+}
+
+// appendRun reads the log (if any), appends the run, and rewrites it.
+func appendRun(path string, run Run) error {
+	var f File
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Schema = 1
+	f.Runs = append(f.Runs, run)
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baseline resolves the log to check against and returns its last run.
+func baseline(against string) (string, *Run, error) {
+	if against == "" {
+		logs, err := filepath.Glob("BENCH_*.json")
+		if err != nil || len(logs) == 0 {
+			return "", nil, fmt.Errorf("no BENCH_*.json baseline found (and no -against given)")
+		}
+		sort.Strings(logs)
+		against = logs[len(logs)-1]
+	}
+	data, err := os.ReadFile(against)
+	if err != nil {
+		return against, nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return against, nil, fmt.Errorf("%s: %v", against, err)
+	}
+	if len(f.Runs) == 0 {
+		return against, nil, fmt.Errorf("%s holds no runs", against)
+	}
+	return against, &f.Runs[len(f.Runs)-1], nil
+}
+
+// checkRun compares the fresh results against the baseline and returns the
+// process exit code.
+func checkRun(against string, threshold float64, host Host, results []Result) int {
+	path, base, err := baseline(against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchlog:", err)
+		return 2
+	}
+	cur := map[string]Result{}
+	for _, r := range results {
+		cur[r.Name] = r
+	}
+	regressions := 0
+	fmt.Printf("benchlog: checking %d benchmark(s) against %s (threshold +%.0f%%)\n",
+		len(base.Results), path, threshold*100)
+	for _, b := range base.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			fmt.Printf("  MISSING  %-60s (in baseline, not produced now)\n", b.Name)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		mark := "ok      "
+		if ratio > 1+threshold {
+			mark = "REGRESS "
+			regressions++
+		}
+		fmt.Printf("  %s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			mark, b.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+	}
+	if regressions == 0 {
+		fmt.Println("benchlog: no regressions")
+		return 0
+	}
+	if !host.comparable(base.Host) {
+		fmt.Printf("benchlog: %d regression(s), but the baseline host differs (%s/%s %q x%d vs %s/%s %q x%d) — wall-clock baselines only bind on their own host class; not failing\n",
+			regressions, base.Host.GOOS, base.Host.GOARCH, base.Host.CPU, base.Host.NumCPU,
+			host.GOOS, host.GOARCH, host.CPU, host.NumCPU)
+		return 0
+	}
+	if os.Getenv("BENCHLOG_ACCEPT_REGRESSION") != "" {
+		fmt.Printf("benchlog: %d regression(s) WAIVED by BENCHLOG_ACCEPT_REGRESSION — refresh the baseline in this PR\n", regressions)
+		return 0
+	}
+	fmt.Printf("benchlog: %d regression(s) beyond +%.0f%% — investigate, or set BENCHLOG_ACCEPT_REGRESSION=1 and refresh the baseline if the trade is deliberate\n",
+		regressions, threshold*100)
+	return 1
+}

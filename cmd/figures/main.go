@@ -59,21 +59,22 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1..10, trend, or all")
-		outDir  = flag.String("out", "figures", "output directory")
-		procs   = flag.Int("procs", 3, "simulated ranks")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		reps    = flag.Int("reps", 4, "sweep repetitions per size and mode")
-		workers = flag.Int("workers", 0, "campaign workers (0 = all CPUs)")
-		cache   = flag.String("cache", "auto", `checkpoint store directory ("auto" = <out>/.cache, "off" disables)`)
-		caches  = flag.String("trendcaches", "128,256,512,1024", "comma-separated cache sizes (kB) for -fig trend -axis cache_kb")
-		clocks  = flag.String("trendclocks", "0.5,1,2,4", "comma-separated CPU clock scales for -fig trend -axis cpu_clock")
-		axis    = flag.String("axis", "cache_kb", "trend grid axis for -fig trend: cache_kb | cpu_clock")
-		trReps  = flag.Int("trendreps", 2, "seed replications per trend grid point")
-		rankpar = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (conservative parallel scheduler; output is bit-identical to serial). 0 = serial scheduler, -1 = parallel with no cap. Non-default values checkpoint separately")
-		distrib = flag.Bool("distributed", false, "partition the job set with other -distributed processes sharing the same -cache store via lease files (no coordinator); requires a store")
-		owner   = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
-		ttl     = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1..10, trend, or all")
+		outDir   = flag.String("out", "figures", "output directory")
+		procs    = flag.Int("procs", 3, "simulated ranks")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		reps     = flag.Int("reps", 4, "sweep repetitions per size and mode")
+		workers  = flag.Int("workers", 0, "campaign workers (0 = all CPUs)")
+		cache    = flag.String("cache", "auto", `checkpoint store directory ("auto" = <out>/.cache, "off" disables)`)
+		caches   = flag.String("trendcaches", "128,256,512,1024", "comma-separated cache sizes (kB) for -fig trend -axis cache_kb")
+		clocks   = flag.String("trendclocks", "0.5,1,2,4", "comma-separated CPU clock scales for -fig trend -axis cpu_clock")
+		axis     = flag.String("axis", "cache_kb", "trend grid axis for -fig trend: cache_kb | cpu_clock")
+		trReps   = flag.Int("trendreps", 2, "seed replications per trend grid point")
+		rankpar  = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (output is bit-identical to serial). 0 = serial scheduler, -1 = parallel with no cap. Non-default values checkpoint separately")
+		rankmode = flag.String("rankmode", "", "rank scheduler: serial | par (conservative) | opt (optimistic/Time Warp). Empty derives the mode from -rankpar (nonzero = par); -rankpar then sets the concurrency cap")
+		distrib  = flag.Bool("distributed", false, "partition the job set with other -distributed processes sharing the same -cache store via lease files (no coordinator); requires a store")
+		owner    = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
+		ttl      = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -87,9 +88,18 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-trendclocks: %w", err))
 	}
+	sched := mpi.Serial
+	if *rankmode != "" {
+		sched, err = mpi.ParseSchedulerMode(*rankmode)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *rankpar != 0 {
+		sched = mpi.ConservativeParallel
+	}
 	g := &generator{
 		outDir: *outDir, procs: *procs, seed: *seed, reps: *reps,
-		rankpar:   *rankpar,
+		sched: sched, rankpar: *rankpar,
 		trendAxis: *axis, trendCaches: trendCaches, trendClocks: trendClocks,
 		trendReps: *trReps,
 	}
@@ -220,6 +230,7 @@ type generator struct {
 	procs   int
 	seed    int64
 	reps    int
+	sched   mpi.SchedulerMode
 	rankpar int
 
 	trendAxis   string
@@ -228,9 +239,9 @@ type generator struct {
 	trendReps   int
 }
 
-// applySched maps the -rankpar flag onto a world config.
+// applySched maps the -rankmode/-rankpar flags onto a world config.
 func (g *generator) applySched(w *mpi.WorldConfig) {
-	*w = w.WithRankParallelism(g.rankpar)
+	*w = w.WithScheduler(g.sched, g.rankpar)
 }
 
 // figVersion salts figure-job checkpoint hashes; bump when rendering

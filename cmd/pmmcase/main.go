@@ -23,30 +23,40 @@ import (
 
 func main() {
 	var (
-		procs   = flag.Int("procs", 3, "number of simulated ranks")
-		steps   = flag.Int("steps", 0, "coarse time steps (0 = default)")
-		baseNx  = flag.Int("nx", 0, "base grid x cells (0 = default)")
-		baseNy  = flag.Int("ny", 0, "base grid y cells (0 = default)")
-		flux    = flag.String("flux", "godunov", "flux implementation: godunov | efm")
-		models  = flag.Bool("models", false, "run the kernel sweeps and print Eq. 1/2 fits")
-		records = flag.Bool("records", false, "dump the Mastermind records (CSV)")
-		cacheSt = flag.Bool("cachestudy", false, "refit the States model under 128kB/512kB/1MB caches and fit the cache-aware T(Q,DCM) model (paper Section 6 outlook)")
-		report  = flag.Bool("report", false, "stream a machine-axis x flux grid through an aggregating sink and print the coefficient-vs-axis trend report")
-		axis    = flag.String("axis", "cache_kb", "trend axis for -report: cache_kb | cpu_clock")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		workers = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
-		rankpar = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (conservative parallel scheduler; output is bit-identical to serial). 0 = serial, -1 = parallel with no cap")
-		cache   = flag.String("cache", "", "checkpoint store directory for the campaign subcommands (empty = no store)")
-		distrib = flag.Bool("distributed", false, "partition campaign jobs with other -distributed processes sharing the same -cache store via lease files (no coordinator)")
-		owner   = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
-		ttl     = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
+		procs    = flag.Int("procs", 3, "number of simulated ranks")
+		steps    = flag.Int("steps", 0, "coarse time steps (0 = default)")
+		baseNx   = flag.Int("nx", 0, "base grid x cells (0 = default)")
+		baseNy   = flag.Int("ny", 0, "base grid y cells (0 = default)")
+		flux     = flag.String("flux", "godunov", "flux implementation: godunov | efm")
+		models   = flag.Bool("models", false, "run the kernel sweeps and print Eq. 1/2 fits")
+		records  = flag.Bool("records", false, "dump the Mastermind records (CSV)")
+		cacheSt  = flag.Bool("cachestudy", false, "refit the States model under 128kB/512kB/1MB caches and fit the cache-aware T(Q,DCM) model (paper Section 6 outlook)")
+		report   = flag.Bool("report", false, "stream a machine-axis x flux grid through an aggregating sink and print the coefficient-vs-axis trend report")
+		axis     = flag.String("axis", "cache_kb", "trend axis for -report: cache_kb | cpu_clock")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
+		rankpar  = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (output is bit-identical to serial). 0 = serial, -1 = parallel with no cap")
+		rankmode = flag.String("rankmode", "", "rank scheduler: serial | par (conservative) | opt (optimistic/Time Warp). Empty derives the mode from -rankpar (nonzero = par); -rankpar then sets the concurrency cap")
+		cache    = flag.String("cache", "", "checkpoint store directory for the campaign subcommands (empty = no store)")
+		distrib  = flag.Bool("distributed", false, "partition campaign jobs with other -distributed processes sharing the same -cache store via lease files (no coordinator)")
+		owner    = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
+		ttl      = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
 	)
 	flag.Parse()
 
-	// applySched maps -rankpar onto a world: the conservative parallel
-	// scheduler changes wall-clock time only, never results.
+	// applySched maps -rankmode/-rankpar onto a world: the parallel
+	// schedulers change wall-clock time only, never results.
 	applySched := func(w *mpi.WorldConfig) {
-		*w = w.WithRankParallelism(*rankpar)
+		if *rankmode == "" {
+			*w = w.WithRankParallelism(*rankpar)
+			return
+		}
+		mode, err := mpi.ParseSchedulerMode(*rankmode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		*w = w.WithScheduler(mode, *rankpar)
 	}
 
 	cfg := harness.DefaultCaseStudy()

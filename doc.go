@@ -43,7 +43,7 @@
 //
 // # Scheduler modes
 //
-// Every simulated world schedules its ranks under one of two modes
+// Every simulated world schedules its ranks under one of three modes
 // (WorldConfig.Sched):
 //
 //   - SchedSerial (the zero value) is a conservative token scheduler:
@@ -63,28 +63,57 @@
 //     total order the serial scheduler produces; sends are buffered
 //     rank-locally during run-ahead and flushed at the sender's commit
 //     turn. MaxParallelRanks caps concurrent ranks (0 = no cap).
+//   - SchedOptimisticParallel is an optimistic (Time Warp) scheduler: on
+//     top of concurrent compute, ranks speculate past order-sensitive
+//     communication instead of waiting for their commit turn. Sends
+//     publish immediately; a receive from a specific source completes the
+//     moment its message is found (the pipelined fast path — per-sender
+//     publication order equals committed order, so no speculation is
+//     needed); wildcard (AnySource) matches and multi-request Waitsome
+//     picks are speculative: the rank checkpoints its local state (virtual
+//     clock, cache model, RNG position, TAU counters, request buffers)
+//     into an undo log, and a commit automaton replays the serial token
+//     discipline over the recorded per-rank event streams to validate
+//     every pick. A mispredicted pick rolls the rank back to its
+//     checkpoint and re-executes against the committed truth, so results
+//     stay bit-identical to Serial. Speculation depth is bounded by a
+//     4096-event window per world (a rank past the window parks until the
+//     automaton catches up), which also guarantees quiescence for
+//     deadlock detection. Telemetry — published sends, pipelined ops,
+//     speculated ops, conflicts, rollbacks, re-executed virtual time,
+//     window stalls — is exposed via World.SpecStats and printed in the
+//     deadlock dump.
 //
 // The determinism guarantee is bit-for-bit, proven by test, not hoped
-// for: for every scenario of the golden grid the parallel scheduler
-// produces identical profiles, virtual clocks, message orders and
-// rendered CSV/report bytes (see TestGoldenGridParallelEquivalence and
-// TestPropertySchedulerEquivalence), so the zero-value config keeps
-// checkpoint hashes, scenario keys and seeds byte-identical, and a
-// non-default scheduler hashes distinctly.
+// for: for every scenario of the golden grid both parallel schedulers
+// produce identical profiles, virtual clocks, message orders and
+// rendered CSV/report bytes (see TestGoldenGridParallelEquivalence,
+// TestPropertySchedulerEquivalence and the forced-conflict rollback
+// tests), so the zero-value config keeps checkpoint hashes, scenario keys
+// and seeds byte-identical, and a non-default scheduler hashes
+// distinctly.
 //
-// When does parallel-rank pay off? It parallelizes compute inside one
-// world, so it wins on compute-dominated bodies with many ranks — the
-// BenchmarkWorldRun compute segment — while communication-dominated
-// workloads serialize at their commit points anyway. Across-world
+// When does parallel-rank pay off? The conservative mode parallelizes
+// compute inside one world, so it wins on compute-dominated bodies with
+// many ranks — the BenchmarkWorldRun compute segment — while
+// communication-dominated workloads serialize at their commit points
+// anyway. That serialization is exactly what the optimistic mode attacks:
+// a ghost-exchange loop of specific-source receives never blocks on the
+// commit token (BenchmarkWorldRun's ghost variant), so prefer "opt" over
+// "par" when the body is communication-heavy with mostly specific-source
+// traffic and few wildcards; heavy AnySource traffic with genuine races
+// costs rollbacks (watch SpecStats.Conflicts), and pure compute gains
+// nothing over the conservative mode. Across-world
 // campaign parallelism (CampaignConfig.Workers) is the first lever: whole
 // scenarios are embarrassingly parallel. The two compose multiplicatively
 // (worlds x ranks); prefer campaign workers when the grid has many
-// scenarios, and add parallel ranks ("-rankpar" on cmd/figures and
-// cmd/pmmcase, or a SchedAxis grid dimension) when individual worlds are
+// scenarios, and add parallel ranks ("-rankmode"/"-rankpar" on
+// cmd/figures and cmd/pmmcase, or a SchedAxis grid dimension) when
+// individual worlds are
 // large or few. The SchedAxis/SchedModeAxis grid dimension is seed-inert
 // — scenarios differing only in scheduler share a derived seed — so a
-// grid can sweep serial vs parallel and verify their equivalence at
-// scale (see examples/campaign).
+// grid can sweep serial vs the parallel modes and verify their
+// equivalence at scale (see examples/campaign).
 //
 // # Grids and dimensions
 //

@@ -14,12 +14,13 @@
 // and re-running the example resumes from the store, executing zero
 // completed scenarios while producing identical output.
 //
-// The grid also sweeps the rank scheduler (SchedModeAxis: serial vs
-// conservative parallel). That axis is seed-inert — paired scenarios share
-// a derived seed — so the example verifies, from the streamed aggregates
-// alone, that every parallel scenario reproduced its serial twin exactly:
-// rank-level parallelism inside a world composes with the campaign's
-// across-world parallelism without changing one bit of output.
+// The grid also sweeps the rank scheduler (SchedModeAxis: serial,
+// conservative parallel, optimistic parallel). That axis is seed-inert —
+// paired scenarios share a derived seed — so the example verifies, from
+// the streamed aggregates alone, that every parallel scenario reproduced
+// its serial twin exactly: rank-level parallelism inside a world composes
+// with the campaign's across-world parallelism without changing one bit
+// of output.
 //
 // The example closes with the distributed layer: two coordinator-free
 // workers (DistributedCampaignConfig: a lease manager per worker over one
@@ -63,7 +64,7 @@ func main() {
 			repro.CacheAxis(128, 512),
 			repro.CPUClockAxis(1, 2),
 			noise,
-			repro.SchedModeAxis(repro.SchedSerial, repro.SchedConservativeParallel),
+			repro.SchedModeAxis(repro.SchedSerial, repro.SchedConservativeParallel, repro.SchedOptimisticParallel),
 		},
 		Replications: 2,
 		BaseSeed:     1,
@@ -119,26 +120,31 @@ func main() {
 	}
 
 	// Scheduler equivalence at scale: the sched axis is seed-inert, so a
-	// "/par/" scenario is the same experiment as its "/serial/" twin and
-	// must have streamed identical telemetry.
+	// "/par/" or "/opt/" scenario is the same experiment as its "/serial/"
+	// twin and must have streamed identical telemetry.
 	pairs, mismatches := 0, 0
 	for _, key := range agg.Keys() {
 		if !strings.Contains(key, "/serial/") {
 			continue
 		}
-		twin := strings.Replace(key, "/serial/", "/par/", 1)
 		s1, ok1 := agg.Stat(key, "wall_us")
-		s2, ok2 := agg.Stat(twin, "wall_us")
-		if !ok1 || !ok2 {
-			log.Fatalf("scheduler pair %s / %s missing from aggregates", key, twin)
+		if !ok1 {
+			log.Fatalf("scenario %s missing from aggregates", key)
 		}
-		pairs++
-		if s1 != s2 {
-			mismatches++
-			fmt.Printf("  MISMATCH %s: serial %+v != parallel %+v\n", key, s1, s2)
+		for _, mode := range []string{"/par/", "/opt/"} {
+			twin := strings.Replace(key, "/serial/", mode, 1)
+			s2, ok2 := agg.Stat(twin, "wall_us")
+			if !ok2 {
+				log.Fatalf("scheduler twin %s missing from aggregates", twin)
+			}
+			pairs++
+			if s1 != s2 {
+				mismatches++
+				fmt.Printf("  MISMATCH %s: serial %+v != %s %+v\n", key, s1, twin, s2)
+			}
 		}
 	}
-	fmt.Printf("\nscheduler equivalence: %d serial/parallel scenario pairs, %d mismatches\n", pairs, mismatches)
+	fmt.Printf("\nscheduler equivalence: %d serial-vs-parallel scenario pairs, %d mismatches\n", pairs, mismatches)
 
 	// The cross-scenario trends: the same grid points fit against either
 	// machine axis. The functional form stays a power law while the

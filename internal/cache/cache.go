@@ -117,6 +117,47 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters without disturbing cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// RestoreStats rewinds the counters to a previously captured Stats value
+// without disturbing cache contents. Rollback paths use it to undo the
+// counter side of accesses whose line-state side never happened.
+func (c *Cache) RestoreStats(s Stats) { c.stats = s }
+
+// State is a deep snapshot of a cache's full mutable state: resident lines,
+// LRU order, valid bits and counters. It is opaque; use Checkpoint/Restore.
+type State struct {
+	ways  []uint64
+	valid []bool
+	stats Stats
+}
+
+// Checkpoint captures the complete cache state (lines, LRU order, counters)
+// for a later Restore. The copy is proportional to the cache's line count
+// (~8k entries for the 512 kB testbed cache), so callers on hot paths that
+// know their region performs no accesses should checkpoint Stats alone.
+func (c *Cache) Checkpoint() State {
+	s := State{
+		ways:  make([]uint64, len(c.ways)),
+		valid: make([]bool, len(c.valid)),
+		stats: c.stats,
+	}
+	copy(s.ways, c.ways)
+	copy(s.valid, c.valid)
+	return s
+}
+
+// Restore rewinds the cache to a previously captured State. The checkpoint
+// must come from a cache of the same geometry; restoring a snapshot from a
+// differently shaped cache panics.
+func (c *Cache) Restore(s State) {
+	if len(s.ways) != len(c.ways) || len(s.valid) != len(c.valid) {
+		panic(fmt.Sprintf("cache: checkpoint geometry mismatch: %d/%d lines vs %d/%d",
+			len(s.ways), len(s.valid), len(c.ways), len(c.valid)))
+	}
+	copy(c.ways, s.ways)
+	copy(c.valid, s.valid)
+	c.stats = s.stats
+}
+
 // Flush invalidates every line and leaves the counters untouched.
 func (c *Cache) Flush() {
 	for i := range c.valid {

@@ -1,0 +1,49 @@
+package cache
+
+import "testing"
+
+// TestCheckpointRestoresLinesAndStats verifies Restore rewinds resident
+// lines, LRU order and counters to the snapshot.
+func TestCheckpointRestoresLinesAndStats(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, LineBytes: 64, Assoc: 2}
+	c := New(cfg)
+	c.AccessRange(0, 32, 64)
+	cp := c.Checkpoint()
+	wantStats := c.Stats()
+
+	// Evict everything with a conflicting sweep, then restore.
+	c.AccessRange(1<<20, 256, 64)
+	if c.Resident(0) {
+		t.Fatal("line 0 should have been evicted by the sweep")
+	}
+	c.Restore(cp)
+	if c.Stats() != wantStats {
+		t.Errorf("stats: got %+v, want %+v", c.Stats(), wantStats)
+	}
+	if !c.Resident(0) || !c.Resident(31*64) {
+		t.Error("restored cache lost lines resident at checkpoint")
+	}
+	if c.Resident(1 << 20) {
+		t.Error("restored cache kept a line accessed after checkpoint")
+	}
+
+	// Hit/miss behaviour after restore must match a fresh replay: the next
+	// access to a checkpointed line hits.
+	h, m := c.AccessRange(0, 1, 64)
+	if h != 1 || m != 0 {
+		t.Errorf("post-restore access: got %d hits %d misses, want 1/0", h, m)
+	}
+}
+
+// TestRestoreRejectsGeometryMismatch verifies snapshots cannot cross cache
+// geometries.
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	a := New(Config{SizeBytes: 4096, LineBytes: 64, Assoc: 2})
+	b := New(Config{SizeBytes: 8192, LineBytes: 64, Assoc: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic restoring a mismatched snapshot")
+		}
+	}()
+	b.Restore(a.Checkpoint())
+}

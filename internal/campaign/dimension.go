@@ -200,22 +200,26 @@ func CPUClockAxis(scales ...float64) Dimension {
 // its parallel-rank cap.
 type SchedChoice struct {
 	Mode mpi.SchedulerMode
-	// MaxParallelRanks caps concurrent ranks under ConservativeParallel;
-	// zero means no cap. Ignored by the serial scheduler.
+	// MaxParallelRanks caps concurrent ranks under the parallel schedulers
+	// (conservative and optimistic); zero means no cap. Ignored by the
+	// serial scheduler.
 	MaxParallelRanks int
 }
 
 // schedKey renders a scheduler choice as a stable key token ("serial",
-// "par", "par4").
+// "par", "par4", "opt", "opt8"). The cap suffix applies to any non-serial
+// mode — a cap is meaningless under the serial scheduler, so it never
+// perturbs that token.
 func (s SchedChoice) schedKey() string {
 	k := s.Mode.String()
-	if s.Mode == mpi.ConservativeParallel && s.MaxParallelRanks > 0 {
+	if s.Mode != mpi.Serial && s.MaxParallelRanks > 0 {
 		k = fmt.Sprintf("%s%d", k, s.MaxParallelRanks)
 	}
 	return k
 }
 
-// SchedAxis sweeps the rank scheduler (serial vs conservative parallel).
+// SchedAxis sweeps the rank scheduler (serial, conservative parallel,
+// optimistic parallel).
 // The axis is seed-inert: scenarios differing only in scheduler share a
 // derived seed, because the scheduler is proven not to change results —
 // sweeping it lets a grid verify that equivalence at scale while keeping

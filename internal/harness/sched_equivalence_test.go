@@ -81,38 +81,42 @@ func TestGoldenGridParallelEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s serial: %v", sc.Key, err)
 		}
-		par, err := RunSweep(withSched(cfg, mpi.ConservativeParallel))
-		if err != nil {
-			t.Fatalf("%s parallel: %v", sc.Key, err)
-		}
-		if !reflect.DeepEqual(serial.Points, par.Points) {
-			t.Errorf("%s: sweep points differ between schedulers", sc.Key)
-			continue
-		}
 		ms, err := FitModels(serial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mp, err := FitModels(par)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(ms, mp) {
-			t.Errorf("%s: fitted models differ between schedulers", sc.Key)
+		for _, mode := range []mpi.SchedulerMode{mpi.ConservativeParallel, mpi.OptimisticParallel} {
+			par, err := RunSweep(withSched(cfg, mode))
+			if err != nil {
+				t.Fatalf("%s %v: %v", sc.Key, mode, err)
+			}
+			if !reflect.DeepEqual(serial.Points, par.Points) {
+				t.Errorf("%s: sweep points differ between serial and %v", sc.Key, mode)
+				continue
+			}
+			mp, err := FitModels(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ms, mp) {
+				t.Errorf("%s: fitted models differ between serial and %v", sc.Key, mode)
+			}
 		}
 	}
 
 	// And the rendered trend artifacts, end to end over the whole grid.
-	parBase := withSched(base, mpi.ConservativeParallel)
-	parGrid := grid
-	parGrid.Base = parBase.World
 	csvS, txtS := trendBytes(t, base, grid)
-	csvP, txtP := trendBytes(t, parBase, parGrid)
-	if !bytes.Equal(csvS, csvP) {
-		t.Errorf("trend.csv differs between schedulers:\nserial:\n%s\nparallel:\n%s", csvS, csvP)
-	}
-	if !bytes.Equal(txtS, txtP) {
-		t.Errorf("trend.txt differs between schedulers:\nserial:\n%s\nparallel:\n%s", txtS, txtP)
+	for _, mode := range []mpi.SchedulerMode{mpi.ConservativeParallel, mpi.OptimisticParallel} {
+		parBase := withSched(base, mode)
+		parGrid := grid
+		parGrid.Base = parBase.World
+		csvP, txtP := trendBytes(t, parBase, parGrid)
+		if !bytes.Equal(csvS, csvP) {
+			t.Errorf("trend.csv differs between serial and %v:\nserial:\n%s\nparallel:\n%s", mode, csvS, csvP)
+		}
+		if !bytes.Equal(txtS, txtP) {
+			t.Errorf("trend.txt differs between serial and %v:\nserial:\n%s\nparallel:\n%s", mode, txtS, txtP)
+		}
 	}
 }
 
@@ -133,25 +137,6 @@ func TestCaseStudyParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parCfg := cfg
-	parCfg.World.Sched = mpi.ConservativeParallel
-	par, err := RunCaseStudy(parCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	for r := range serial.Profiles {
-		var bs, bp bytes.Buffer
-		if err := gob.NewEncoder(&bs).Encode(serial.Profiles[r]); err != nil {
-			t.Fatal(err)
-		}
-		if err := gob.NewEncoder(&bp).Encode(par.Profiles[r]); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
-			t.Errorf("rank %d: serialized TAU profile differs between schedulers", r)
-		}
-	}
 	render := func(res *CaseStudyResult) (string, string) {
 		var prof, ghost strings.Builder
 		if err := res.WriteProfile(&prof); err != nil {
@@ -163,19 +148,41 @@ func TestCaseStudyParallelEquivalence(t *testing.T) {
 		return prof.String(), ghost.String()
 	}
 	profS, ghostS := render(serial)
-	profP, ghostP := render(par)
-	if profS != profP {
-		t.Errorf("FUNCTION SUMMARY differs:\nserial:\n%s\nparallel:\n%s", profS, profP)
-	}
-	if ghostS != ghostP {
-		t.Error("ghost-communication CSV differs between schedulers")
-	}
-	if serial.SimTime != par.SimTime || serial.StepsTaken != par.StepsTaken {
-		t.Errorf("driver progress differs: serial t=%v/%d steps, parallel t=%v/%d steps",
-			serial.SimTime, serial.StepsTaken, par.SimTime, par.StepsTaken)
-	}
-	if !reflect.DeepEqual(serial.Image, par.Image) {
-		t.Error("density image differs between schedulers")
+
+	for _, mode := range []mpi.SchedulerMode{mpi.ConservativeParallel, mpi.OptimisticParallel} {
+		parCfg := cfg
+		parCfg.World.Sched = mode
+		par, err := RunCaseStudy(parCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for r := range serial.Profiles {
+			var bs, bp bytes.Buffer
+			if err := gob.NewEncoder(&bs).Encode(serial.Profiles[r]); err != nil {
+				t.Fatal(err)
+			}
+			if err := gob.NewEncoder(&bp).Encode(par.Profiles[r]); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+				t.Errorf("rank %d: serialized TAU profile differs between serial and %v", r, mode)
+			}
+		}
+		profP, ghostP := render(par)
+		if profS != profP {
+			t.Errorf("FUNCTION SUMMARY differs under %v:\nserial:\n%s\nparallel:\n%s", mode, profS, profP)
+		}
+		if ghostS != ghostP {
+			t.Errorf("ghost-communication CSV differs between serial and %v", mode)
+		}
+		if serial.SimTime != par.SimTime || serial.StepsTaken != par.StepsTaken {
+			t.Errorf("driver progress differs under %v: serial t=%v/%d steps, parallel t=%v/%d steps",
+				mode, serial.SimTime, serial.StepsTaken, par.SimTime, par.StepsTaken)
+		}
+		if !reflect.DeepEqual(serial.Image, par.Image) {
+			t.Errorf("density image differs between serial and %v", mode)
+		}
 	}
 }
 
@@ -193,7 +200,7 @@ func TestSchedGridEquivalenceAtScale(t *testing.T) {
 		Base: base.World,
 		Axes: []campaign.Dimension{
 			campaign.CacheAxis(128, 512),
-			campaign.SchedModeAxis(mpi.Serial, mpi.ConservativeParallel),
+			campaign.SchedModeAxis(mpi.Serial, mpi.ConservativeParallel, mpi.OptimisticParallel),
 		},
 		Replications: 2,
 	}
@@ -207,21 +214,23 @@ func TestSchedGridEquivalenceAtScale(t *testing.T) {
 		exp := strings.Replace(p.Scenario.Key, "/"+sched, "", 1)
 		byExperiment[exp] = append(byExperiment[exp], p)
 	}
-	if len(byExperiment) != len(points)/2 {
+	if len(byExperiment) != len(points)/3 {
 		t.Fatalf("pairing failed: %d experiments from %d points", len(byExperiment), len(points))
 	}
-	for exp, pair := range byExperiment {
-		if len(pair) != 2 {
-			t.Fatalf("experiment %s has %d scheduler variants, want 2", exp, len(pair))
+	for exp, group := range byExperiment {
+		if len(group) != 3 {
+			t.Fatalf("experiment %s has %d scheduler variants, want 3", exp, len(group))
 		}
-		if pair[0].Scenario.World.Seed != pair[1].Scenario.World.Seed {
-			t.Errorf("experiment %s: seeds differ across the seed-inert sched axis", exp)
-		}
-		if !reflect.DeepEqual(pair[0].Result.Points, pair[1].Result.Points) {
-			t.Errorf("experiment %s: sweep points differ between schedulers", exp)
-		}
-		if !reflect.DeepEqual(pair[0].Model, pair[1].Model) {
-			t.Errorf("experiment %s: fitted models differ between schedulers", exp)
+		for _, p := range group[1:] {
+			if group[0].Scenario.World.Seed != p.Scenario.World.Seed {
+				t.Errorf("experiment %s: seeds differ across the seed-inert sched axis", exp)
+			}
+			if !reflect.DeepEqual(group[0].Result.Points, p.Result.Points) {
+				t.Errorf("experiment %s: sweep points differ between schedulers", exp)
+			}
+			if !reflect.DeepEqual(group[0].Model, p.Model) {
+				t.Errorf("experiment %s: fitted models differ between schedulers", exp)
+			}
 		}
 	}
 	if testing.Verbose() {

@@ -104,6 +104,20 @@ type collState struct {
 	lastID     int         // new communicator id for Dup/Create
 }
 
+// collective routes the all-ranks rendezvous through the scheduler: under
+// the optimistic scheduler the arrival is recorded on the rank's event
+// stream and replayed by the commit automaton; under the serial and
+// conservative schedulers it runs directly under the commit token.
+func (c *Comm) collective(kind collKind, data []float64, root int, op Op) ([]float64, int) {
+	w := c.world
+	if w.opt {
+		return c.optCollective(kind, data, root, op)
+	}
+	w.lockShared(c.r.rank)
+	defer w.mu.Unlock()
+	return c.collectiveLocked(kind, data, root, op)
+}
+
 // collectiveLocked runs the all-ranks rendezvous: the caller contributes
 // data, blocks until every member of the communicator has arrived, and
 // leaves at tmax + network cost with its per-rank result. The last arriver
@@ -231,23 +245,17 @@ func reduceContrib(contrib [][]float64, op Op) []float64 {
 
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
-	w := c.world
 	stop := c.enter("MPI_Barrier()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	c.collectiveLocked(collBarrier, nil, 0, OpSum)
+	c.collective(collBarrier, nil, 0, OpSum)
 }
 
 // Allreduce reduces data elementwise across all ranks under op and returns
 // the result (identical on every rank).
 func (c *Comm) Allreduce(op Op, data []float64) []float64 {
-	w := c.world
 	stop := c.enter("MPI_Allreduce()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	res, _ := c.collectiveLocked(collAllreduce, data, 0, op)
+	res, _ := c.collective(collAllreduce, data, 0, op)
 	out := make([]float64, len(res))
 	copy(out, res)
 	return out
@@ -257,12 +265,9 @@ func (c *Comm) Allreduce(op Op, data []float64) []float64 {
 // and nil elsewhere.
 func (c *Comm) Reduce(op Op, root int, data []float64) []float64 {
 	c.checkPeer(root)
-	w := c.world
 	stop := c.enter("MPI_Reduce()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	res, _ := c.collectiveLocked(collReduce, data, root, op)
+	res, _ := c.collective(collReduce, data, root, op)
 	if res == nil {
 		return nil
 	}
@@ -274,16 +279,13 @@ func (c *Comm) Reduce(op Op, root int, data []float64) []float64 {
 // Bcast broadcasts root's buf into every rank's buf (in place).
 func (c *Comm) Bcast(root int, buf []float64) {
 	c.checkPeer(root)
-	w := c.world
 	stop := c.enter("MPI_Bcast()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
 	var contrib []float64
 	if c.rank == root {
 		contrib = buf
 	}
-	res, _ := c.collectiveLocked(collBcast, contrib, root, OpSum)
+	res, _ := c.collective(collBcast, contrib, root, OpSum)
 	if c.rank != root {
 		if len(res) != len(buf) {
 			panic(fmt.Sprintf("mpi: Bcast buffer length %d != root payload %d", len(buf), len(res)))
@@ -295,12 +297,9 @@ func (c *Comm) Bcast(root int, buf []float64) {
 // Allgather concatenates every rank's equal-length contribution in rank
 // order and returns the concatenation on every rank.
 func (c *Comm) Allgather(data []float64) []float64 {
-	w := c.world
 	stop := c.enter("MPI_Allgather()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	res, _ := c.collectiveLocked(collAllgather, data, 0, OpSum)
+	res, _ := c.collective(collAllgather, data, 0, OpSum)
 	out := make([]float64, len(res))
 	copy(out, res)
 	return out
@@ -312,9 +311,7 @@ func (c *Comm) Dup() *Comm {
 	w := c.world
 	stop := c.enter("MPI_Comm_dup()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	_, id := c.collectiveLocked(collDup, nil, 0, OpSum)
+	_, id := c.collective(collDup, nil, 0, OpSum)
 	return &Comm{world: w, id: id, rank: c.rank, group: c.group, r: c.r}
 }
 
@@ -331,9 +328,7 @@ func (c *Comm) CommCreate(group []int) *Comm {
 	w := c.world
 	stop := c.enter("MPI_Comm_create()")
 	defer stop()
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	_, id := c.collectiveLocked(collCreate, nil, 0, OpSum)
+	_, id := c.collective(collCreate, nil, 0, OpSum)
 	myNew := -1
 	worldGroup := make([]int, len(group))
 	for i, g := range group {

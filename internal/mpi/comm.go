@@ -89,7 +89,9 @@ func (c *Comm) postSend(dst, tag int, data []float64) {
 	m := &message{src: c.rank, tag: tag, data: cp, arrive: arrive}
 	key := mailKey{comm: c.id, dst: c.group[dst]}
 	w := c.world
-	if w.par {
+	if w.opt {
+		c.optPostSend(key, m)
+	} else if w.par {
 		c.r.pending = append(c.r.pending, pendingSend{key: key, msg: m})
 	} else {
 		w.mu.Lock()
@@ -141,6 +143,11 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 	stop := c.enter("MPI_Recv()")
 	defer stop()
 	w := c.world
+	if w.opt {
+		req := &Request{comm: c, isRecv: true, src: src, tag: tag, buf: buf}
+		c.optCompleteRecvs("MPI_Recv()", []*Request{req})
+		return req.n
+	}
 	w.lockShared(c.r.rank)
 	defer w.mu.Unlock()
 	key := mailKey{comm: c.id, dst: c.group[c.rank]}
@@ -220,6 +227,10 @@ func (c *Comm) Wait(req *Request) {
 		return
 	}
 	w := c.world
+	if w.opt {
+		c.optCompleteRecvs("MPI_Wait()", []*Request{req})
+		return
+	}
 	w.lockShared(c.r.rank)
 	defer w.mu.Unlock()
 	c.waitLocked("MPI_Wait()", req)
@@ -240,6 +251,15 @@ func (c *Comm) Waitall(reqs []*Request) {
 		return
 	}
 	w := c.world
+	if w.opt {
+		for _, r := range reqs {
+			if !r.done && !r.canceled && !r.isRecv {
+				r.done = true
+			}
+		}
+		c.optCompleteRecvs("MPI_Waitall()", reqs)
+		return
+	}
 	w.lockShared(c.r.rank)
 	defer w.mu.Unlock()
 	for _, r := range reqs {
@@ -281,6 +301,9 @@ func (c *Comm) Waitsome(reqs []*Request) []int {
 	}
 
 	w := c.world
+	if w.opt {
+		return c.optWaitsome(reqs)
+	}
 	w.lockShared(c.r.rank)
 	defer w.mu.Unlock()
 	ready := func() bool {
@@ -335,21 +358,15 @@ func (c *Comm) Init() {
 	stop := c.enter("MPI_Init()")
 	defer stop()
 	c.r.Proc.Advance(c.world.cfg.InitUS)
-	w := c.world
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	c.collectiveLocked(collBarrier, nil, 0, OpSum)
+	c.collective(collBarrier, nil, 0, OpSum)
 }
 
 // Finalize models MPI_Finalize: a synchronizing teardown.
 func (c *Comm) Finalize() {
 	stop := c.enter("MPI_Finalize()")
 	defer stop()
-	w := c.world
-	w.lockShared(c.r.rank)
-	defer w.mu.Unlock()
-	c.collectiveLocked(collBarrier, nil, 0, OpSum)
-	c.r.Proc.Advance(w.cfg.FinalizeUS)
+	c.collective(collBarrier, nil, 0, OpSum)
+	c.r.Proc.Advance(c.world.cfg.FinalizeUS)
 }
 
 // KeyvalCreate models MPI_Keyval_create: it allocates a fresh attribute key
@@ -359,6 +376,9 @@ func (c *Comm) KeyvalCreate() int {
 	stop := c.enter("MPI_Keyval_create()")
 	defer stop()
 	w := c.world
+	if w.opt {
+		return c.optKeyvalCreate()
+	}
 	w.lockShared(c.r.rank)
 	defer w.mu.Unlock()
 	w.nextCommID++ // reuse the id space for keyvals; uniqueness is all MPI promises

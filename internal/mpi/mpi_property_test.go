@@ -150,32 +150,113 @@ func randomPatternBody(seed int64, p int) func(r *Rank, log *[]string) {
 }
 
 // Property: any random communication pattern yields bit-identical final
-// clocks, profiles and message completion orders under the serial and the
-// conservative parallel scheduler — the tentpole determinism guarantee.
+// clocks, profiles and message completion orders under the serial, the
+// conservative parallel and the optimistic scheduler — the tentpole
+// determinism guarantee.
 func TestPropertySchedulerEquivalence(t *testing.T) {
 	f := func(seed int64, pRaw, capRaw uint8) bool {
 		p := int(pRaw%4) + 2
 		body := randomPatternBody(seed, p)
 		serialCfg := testConfig(p)
 		serialCfg.Net.NoiseSigma = 0.35
-		parCfg := serialCfg
-		parCfg.Sched = ConservativeParallel
-		parCfg.MaxParallelRanks = int(capRaw % 4) // 0 (uncapped) .. 3
 		serial := runTraced(t, serialCfg, body)
-		par := runTraced(t, parCfg, body)
-		for r := range serial.clocks {
-			if serial.clocks[r] != par.clocks[r] ||
-				serial.counters[r] != par.counters[r] ||
-				!bytes.Equal(serial.profiles[r], par.profiles[r]) ||
-				fmt.Sprint(serial.log[r]) != fmt.Sprint(par.log[r]) {
-				t.Logf("seed %d p %d rank %d diverged:\nserial   %v\nparallel %v",
-					seed, p, r, serial.log[r], par.log[r])
-				return false
+		for _, mode := range []SchedulerMode{ConservativeParallel, OptimisticParallel} {
+			parCfg := serialCfg
+			parCfg.Sched = mode
+			parCfg.MaxParallelRanks = int(capRaw % 4) // 0 (uncapped) .. 3
+			par := runTraced(t, parCfg, body)
+			for r := range serial.clocks {
+				if serial.clocks[r] != par.clocks[r] ||
+					serial.counters[r] != par.counters[r] ||
+					!bytes.Equal(serial.profiles[r], par.profiles[r]) ||
+					fmt.Sprint(serial.log[r]) != fmt.Sprint(par.log[r]) {
+					t.Logf("seed %d p %d sched %v rank %d diverged:\nserial %v\n%v     %v",
+						seed, p, mode, r, serial.log[r], mode, par.log[r])
+					return false
+				}
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// wildcardPatternBody is randomPatternBody's adversarial cousin for the
+// optimistic scheduler: receives use MPI_ANY_SOURCE (and mixed tags), so
+// every match is speculative and the commit automaton must arbitrate the
+// order. Random compute skews make the real-time publication order diverge
+// hard from the virtual-time serial order, forcing mispredictions.
+func wildcardPatternBody(seed int64, p int) func(r *Rank, log *[]string) {
+	return func(r *Rank, log *[]string) {
+		me := r.Rank()
+		rng := rand.New(rand.NewSource(seed ^ int64(me)*0x5bd1e995))
+		if me == 0 {
+			// Rank 0 drains (p-1)*3 wildcard receives one at a time plus a
+			// batch of wildcard Irecvs via Waitsome.
+			buf := make([]float64, 64)
+			for i := 0; i < (p-1)*2; i++ {
+				n := r.Comm.Recv(AnySource, AnyTag, buf)
+				*log = append(*log, fmt.Sprintf("recv n=%d v=%.6f@%.3f", n, buf[0], r.Proc.Now()))
+			}
+			var reqs []*Request
+			bufs := make([][]float64, p-1)
+			for i := range bufs {
+				bufs[i] = make([]float64, 64)
+				reqs = append(reqs, r.Comm.Irecv(AnySource, AnyTag, bufs[i]))
+			}
+			for {
+				done := r.Comm.Waitsome(reqs)
+				if done == nil {
+					break
+				}
+				for _, i := range done {
+					*log = append(*log, fmt.Sprintf("some %d=%.6f@%.3f", i, bufs[i][0], r.Proc.Now()))
+				}
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				r.Proc.Advance(rng.Float64() * 300)
+				n := rng.Intn(32) + 1
+				payload := make([]float64, n)
+				for j := range payload {
+					payload[j] = float64(me*1000+i*10) + rng.Float64()
+				}
+				r.Comm.Send(0, rng.Intn(3), payload)
+			}
+		}
+		sum := r.Comm.Allreduce(OpSum, []float64{r.Proc.Now()})
+		*log = append(*log, fmt.Sprintf("sum=%.6f", sum[0]))
+	}
+}
+
+// Property: wildcard-heavy patterns — where the optimistic scheduler must
+// speculate every match — still produce bit-identical results in all three
+// modes, for random seeds and rank caps.
+func TestPropertyWildcardSchedulerEquivalence(t *testing.T) {
+	f := func(seed int64, pRaw, capRaw uint8) bool {
+		p := int(pRaw%4) + 2
+		body := wildcardPatternBody(seed, p)
+		serialCfg := testConfig(p)
+		serialCfg.Net.NoiseSigma = 0.35
+		serial := runTraced(t, serialCfg, body)
+		for _, mode := range []SchedulerMode{ConservativeParallel, OptimisticParallel} {
+			cfg := serialCfg.WithScheduler(mode, int(capRaw%4))
+			par := runTraced(t, cfg, body)
+			for r := range serial.clocks {
+				if serial.clocks[r] != par.clocks[r] ||
+					serial.counters[r] != par.counters[r] ||
+					!bytes.Equal(serial.profiles[r], par.profiles[r]) ||
+					fmt.Sprint(serial.log[r]) != fmt.Sprint(par.log[r]) {
+					t.Logf("seed %d p %d sched %v rank %d diverged", seed, p, mode, r)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
 	}
 }

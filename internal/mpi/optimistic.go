@@ -1,0 +1,956 @@
+package mpi
+
+// Optimistic (Time Warp) rank scheduler.
+//
+// Under OptimisticParallel every rank goroutine runs freely: sends publish
+// immediately to a shared "published" view, receives from a specific source
+// complete as soon as the matching message is published (the conflict-free
+// fast path that buys pipelining), and wildcard receives speculate — they
+// tentatively pick a published message under an undo log and park until the
+// commit automaton validates the pick against the serial total order.
+//
+// The commit automaton replays the serial token discipline over per-rank
+// event streams recorded at every MPI entry point: it grants the rank with
+// the smallest committed (clock, rank), consumes that rank's events against
+// the committed world state (mailboxes, collectives, communicator ids),
+// and blocks the rank at events whose serial predicate fails — exactly the
+// scheduling points the serial scheduler would take. Speculative outcomes
+// that match the committed truth resolve; mismatches mark the event
+// conflicted, and the owning rank rolls back (processor clock, cache lines,
+// RNG stream, TAU events, request state) and re-executes from the committed
+// truth before its MPI call returns.
+//
+// Because every MPI operation returns only exact serial-equal results, rank
+// local state is always exact at operation boundaries: published sends are
+// always valid, rollbacks never cascade, and profiles, virtual clocks,
+// message orders and rendered bytes stay bit-for-bit identical to Serial.
+//
+// There is no dedicated committer goroutine: any rank that parks inside an
+// MPI operation helps drive the automaton while it waits. The speculation
+// window (specWindow events of run-ahead per rank) bounds how far a rank's
+// stream may outrun the commit frontier, guaranteeing quiescence for the
+// deadlock check.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/platform"
+	"repro/internal/tau"
+)
+
+// specWindow caps how many recorded events a rank's stream may run ahead of
+// the commit frontier before the rank parks. It bounds memory growth and
+// guarantees every rank eventually parks, which the deadlock check relies
+// on.
+const specWindow = 4096
+
+// Automaton view of a rank's scheduling state (mirrors the serial
+// scheduler's stReady/stBlocked/stDone over the replayed order).
+const (
+	aReady = iota
+	aBlocked
+	aDone
+)
+
+// Lifecycle of a recorded event's validation.
+const (
+	esPending = iota
+	esConflict
+	esResolved
+)
+
+// evKind discriminates the recorded event types.
+type evKind int
+
+const (
+	evSend evKind = iota
+	evRecv
+	evWaitsome
+	evColl
+	evKeyval
+)
+
+// SpecStats is the optimistic scheduler's speculation telemetry. All
+// counters are totals over the run; the zero value is returned for worlds
+// not using OptimisticParallel.
+type SpecStats struct {
+	// PublishedSends counts messages published ahead of their commit turn.
+	PublishedSends uint64
+	// PipelinedOps counts conflict-free operations (specific-source
+	// receives, deterministic Waitsomes) completed without waiting for the
+	// commit automaton — the scheduler's wall-clock win.
+	PipelinedOps uint64
+	// SpeculatedOps counts operations that took a checkpoint and
+	// tentatively consumed published messages under an undo log.
+	SpeculatedOps uint64
+	// CommittedOps counts events the commit automaton validated in serial
+	// order (every recorded operation commits exactly once).
+	CommittedOps uint64
+	// Conflicts counts events whose speculative outcome mismatched the
+	// committed truth.
+	Conflicts uint64
+	// Rollbacks counts rank rollbacks (one per conflicted operation that
+	// had speculated).
+	Rollbacks uint64
+	// WindowStalls counts times a rank parked because its event stream ran
+	// specWindow events ahead of the commit frontier.
+	WindowStalls uint64
+	// ReexecutedUS is the total virtual time discarded by rollbacks and
+	// re-executed from the committed truth.
+	ReexecutedUS float64
+}
+
+// SpecStats returns the world's speculation telemetry. It is the zero value
+// unless the world runs under OptimisticParallel.
+func (w *World) SpecStats() SpecStats {
+	if w.o == nil {
+		return SpecStats{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.o.stats
+}
+
+// recvSlot is one posted receive inside a recorded receive event. The rank
+// fills got with its (speculative or fast-path) pick; the automaton fills
+// truth with the committed match and byAuto when it assigned got itself
+// while the rank was parked.
+type recvSlot struct {
+	key      mailKey
+	src, tag int
+	bufLen   int
+	got      *message
+	byAuto   bool
+	truth    *message
+}
+
+// specEvent is one recorded MPI operation in a rank's event stream. The
+// rank appends it at operation entry (before parking), so the automaton
+// always sees the rank's next scheduling point; clock is the rank's virtual
+// clock at that entry and is advanced in place by the automaton as it
+// replays consumes.
+type specEvent struct {
+	kind  evKind
+	rank  int
+	op    string
+	comm  *Comm
+	clock float64
+
+	// evSend
+	sendKey mailKey
+	msg     *message
+
+	// evRecv / evWaitsome
+	slots      []recvSlot
+	sub        int // next slot the automaton will process (evRecv)
+	specDone   bool
+	conflicted bool
+
+	// evColl
+	collKind   collKind
+	collRoot   int
+	collOp     Op
+	contrib    []float64
+	collGen    uint64
+	collJoined bool
+	collRes    []float64
+	collLeave  float64
+	collID     int
+
+	// evKeyval
+	keyvalID int
+
+	state int
+}
+
+// optState is the optimistic scheduler's shared state, guarded by World.mu.
+type optState struct {
+	w *World
+
+	// pub is the published view of the message space: every send lands here
+	// immediately. Messages move to the committed mailboxes when the
+	// automaton replays the send, and leave both views when it replays the
+	// consuming receive. taken marks tentative speculative consumption.
+	pub map[mailKey][]*message
+
+	// streams/pos are the per-rank recorded events and the commit frontier.
+	streams [][]*specEvent
+	pos     []int
+
+	// Automaton replay state: per-rank status and committed clock, plus the
+	// currently granted rank (-1 when none — a scheduling point is due).
+	aStat  []int
+	aClock []float64
+	cur    int
+
+	finished []bool // rank goroutine returned
+	parked   []bool // rank is waiting inside optParkLocked
+
+	window int
+	stats  SpecStats
+}
+
+// newOptState sizes the scheduler state for the world's rank count.
+func newOptState(w *World) *optState {
+	n := w.cfg.Procs
+	o := &optState{
+		w:        w,
+		pub:      make(map[mailKey][]*message),
+		streams:  make([][]*specEvent, n),
+		pos:      make([]int, n),
+		aStat:    make([]int, n),
+		aClock:   make([]float64, n),
+		cur:      -1,
+		finished: make([]bool, n),
+		parked:   make([]bool, n),
+		window:   specWindow,
+	}
+	for r := range o.aClock {
+		o.aClock[r] = w.ranks[r].Proc.Now()
+	}
+	return o
+}
+
+// reqUndo snapshots the mutable fields of one request for rollback.
+type reqUndo struct {
+	req  *Request
+	done bool
+	n    int
+	buf  []float64
+}
+
+// specUndo is the undo log one speculative operation records before
+// tentatively consuming anything: processor state (clock, counters, RNG
+// position), cache lines, TAU events, request state and the published
+// messages it marked taken.
+type specUndo struct {
+	proc   platform.ProcState
+	cache  cache.State
+	events tau.EventsCheckpoint
+	reqs   []reqUndo
+	taken  []*message
+}
+
+// specCheckpointLocked records the rank's rollback point. Caller holds the
+// world lock (the snapshot itself touches only rank-local state).
+func (r *Rank) specCheckpointLocked(reqs []*Request) *specUndo {
+	u := &specUndo{
+		proc:   r.Proc.Checkpoint(),
+		cache:  r.Proc.Cache().Checkpoint(),
+		events: r.Prof.CheckpointEvents(),
+	}
+	for _, q := range reqs {
+		ru := reqUndo{req: q, done: q.done, n: q.n}
+		if len(q.buf) > 0 {
+			ru.buf = append([]float64(nil), q.buf...)
+		}
+		u.reqs = append(u.reqs, ru)
+	}
+	return u
+}
+
+// rollbackLocked rewinds the rank to the undo log's checkpoint: virtual
+// clock, counters, RNG stream position, cache lines, TAU events, request
+// state; tentatively taken messages return to the published pool.
+func (r *Rank) rollbackLocked(u *specUndo) {
+	r.Proc.Restore(u.proc)
+	r.Proc.Cache().Restore(u.cache)
+	r.Prof.RestoreEvents(u.events)
+	for _, ru := range u.reqs {
+		ru.req.done = ru.done
+		ru.req.n = ru.n
+		if ru.buf != nil {
+			copy(ru.req.buf, ru.buf)
+		}
+	}
+	for _, m := range u.taken {
+		m.taken = false
+	}
+	u.taken = u.taken[:0]
+}
+
+// ---------------------------------------------------------------------------
+// Published-view helpers (caller holds w.mu).
+
+// pubFindLocked returns the published message a speculative pick would
+// consume for (src, tag), or nil. For a specific source the pick is the
+// sender's first untaken matching message — publication order is the
+// sender's program order, so this is exactly the committed FIFO match. For
+// AnySource it is a heuristic (earliest arrival) validated later by the
+// automaton; oversized messages are skipped so a wrong pick cannot trigger
+// a spurious truncation panic.
+func (o *optState) pubFindLocked(key mailKey, src, tag, bufLen int) *message {
+	var best *message
+	for _, m := range o.pub[key] {
+		if m.taken {
+			continue
+		}
+		if (src != AnySource && m.src != src) || (tag != AnyTag && m.tag != tag) {
+			continue
+		}
+		if src != AnySource {
+			return m
+		}
+		if len(m.data) > bufLen {
+			continue
+		}
+		if best == nil || m.arrive < best.arrive {
+			best = m
+		}
+	}
+	return best
+}
+
+// pubRemoveLocked drops a committed-and-consumed message from the published
+// view.
+func (o *optState) pubRemoveLocked(key mailKey, m *message) {
+	box := o.pub[key]
+	for i, x := range box {
+		if x == m {
+			o.pub[key] = append(box[:i:i], box[i+1:]...)
+			return
+		}
+	}
+}
+
+// appendLocked records an event on the rank's stream, first parking if the
+// stream has run a full speculation window ahead of the commit frontier.
+func (o *optState) appendLocked(rank int, ev *specEvent) {
+	o.windowWaitLocked(rank)
+	o.streams[rank] = append(o.streams[rank], ev)
+}
+
+// windowWaitLocked parks the rank while its stream is specWindow events
+// ahead of the commit frontier.
+func (o *optState) windowWaitLocked(rank int) {
+	if len(o.streams[rank])-o.pos[rank] < o.window {
+		return
+	}
+	o.stats.WindowStalls++
+	o.w.optParkLocked(rank, blockDesc{op: "speculation window"}, func() bool {
+		return len(o.streams[rank])-o.pos[rank] < o.window
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Parking, helping and deadlock detection.
+
+// optParkLocked parks the rank until ready() holds. While waiting it helps
+// drive the commit automaton (there is no dedicated committer goroutine)
+// and runs the deadlock check: if every other live rank is parked or
+// finished and the automaton cannot progress, the replayed serial order is
+// blocked with every live rank waiting — the exact condition under which
+// the serial scheduler declares deadlock. on describes the awaited
+// communication for the deadlock report. Caller holds w.mu.
+func (w *World) optParkLocked(rank int, on blockDesc, ready func() bool) {
+	if ready() {
+		return
+	}
+	o := w.o
+	w.status[rank] = stBlocked
+	w.blockedOn[rank] = on
+	w.blocked[rank] = ready // the deadlock check re-evaluates parked ranks
+	// The compute slot is released once, on first parking, and re-acquired
+	// once the predicate holds — not around every Wait iteration: releasing
+	// broadcasts to slot waiters, and a release per wakeup lets idle parked
+	// ranks wake each other in a broadcast storm that starves the ranks
+	// doing real work.
+	released := false
+	for {
+		if w.aborted {
+			panic(abortPanic{})
+		}
+		if ready() {
+			break
+		}
+		if w.autoStepLocked() {
+			continue
+		}
+		if o.allOthersIdleLocked(rank) {
+			w.optDeadlockLocked()
+			panic(abortPanic{})
+		}
+		o.parked[rank] = true
+		if !released {
+			w.releaseSlotLocked(rank)
+			released = true
+		}
+		w.cond.Wait()
+		o.parked[rank] = false
+	}
+	if released && !w.acquireSlotLocked(rank) {
+		panic(abortPanic{})
+	}
+	w.status[rank] = stRunning
+	w.blockedOn[rank] = blockDesc{}
+	w.blocked[rank] = nil
+}
+
+// allOthersIdleLocked reports whether every rank but self is parked on a
+// still-failing predicate or has finished — the quiescence precondition for
+// declaring deadlock. A computing rank could still publish new input, and a
+// parked rank whose predicate already holds merely has not been scheduled
+// yet: it will wake from the pending broadcast and make progress.
+func (o *optState) allOthersIdleLocked(self int) bool {
+	for r := range o.parked {
+		if r == self {
+			continue
+		}
+		if o.finished[r] {
+			continue
+		}
+		if !o.parked[r] {
+			return false
+		}
+		if o.w.blocked[r] != nil && o.w.blocked[r]() {
+			return false
+		}
+	}
+	return true
+}
+
+// optDeadlockLocked aborts the world with the same per-rank deadlock errors
+// and state dump the serial scheduler produces. Only optParkLocked calls it,
+// and only at quiescence, so every live rank's Proc is safe to read.
+func (w *World) optDeadlockLocked() {
+	w.aborted = true
+	report := w.deadlockReportLocked()
+	for r := range w.status {
+		if w.status[r] == stBlocked {
+			w.panics[r] = fmt.Errorf("mpi: deadlock: rank %d blocked at t=%.3fus in %s with no matching communication\n%s",
+				r, w.ranks[r].Proc.Now(), w.blockedOn[r], report)
+		}
+	}
+	w.cond.Broadcast()
+}
+
+// ---------------------------------------------------------------------------
+// The commit automaton (caller holds w.mu).
+
+// autoStepLocked advances the commit automaton as far as it can and reports
+// whether any event committed. It replays the serial token discipline over
+// the recorded streams: consume the granted rank's events until one blocks,
+// then promote and grant the ready rank with the smallest (clock, rank). It
+// never declares deadlock — a stall may just mean a computing rank has not
+// recorded its next event yet; optParkLocked owns that call.
+func (w *World) autoStepLocked() bool {
+	o := w.o
+	progressed := false
+	for {
+		if w.aborted {
+			break
+		}
+		if o.cur != -1 {
+			if o.consumeSegmentLocked(o.cur) {
+				progressed = true
+			}
+			if o.cur != -1 {
+				// The granted rank's stream is exhausted mid-segment: the
+				// serial order is inside its still-running compute segment.
+				break
+			}
+			continue
+		}
+		// Scheduling point: promote blocked ranks whose predicates now hold
+		// against committed state, then grant the smallest (clock, rank).
+		for r := range o.aStat {
+			if o.aStat[r] == aBlocked && o.predHoldsLocked(r) {
+				o.aStat[r] = aReady
+			}
+		}
+		next, best := -1, 0.0
+		for r := 0; r < len(o.aStat); r++ {
+			if o.aStat[r] != aReady {
+				continue
+			}
+			if next == -1 || o.aClock[r] < best {
+				next, best = r, o.aClock[r]
+			}
+		}
+		if next == -1 {
+			break
+		}
+		o.cur = next
+	}
+	if progressed {
+		w.cond.Broadcast()
+	}
+	return progressed
+}
+
+// consumeSegmentLocked replays the granted rank's events until one blocks
+// or the stream is exhausted, reporting whether any event committed.
+func (o *optState) consumeSegmentLocked(r int) bool {
+	progressed := false
+	for o.pos[r] < len(o.streams[r]) {
+		ev := o.streams[r][o.pos[r]]
+		if !o.processLocked(ev) {
+			o.aStat[r] = aBlocked
+			o.aClock[r] = ev.clock
+			o.cur = -1
+			return progressed
+		}
+		o.streams[r][o.pos[r]] = nil // release committed events for GC
+		o.pos[r]++
+		o.stats.CommittedOps++
+		progressed = true
+	}
+	if o.finished[r] {
+		o.aStat[r] = aDone
+		o.aClock[r] = o.w.ranks[r].Proc.Now() // quiescent: goroutine returned
+		o.cur = -1
+	}
+	return progressed
+}
+
+// predHoldsLocked evaluates a blocked rank's next event against committed
+// state — the automaton's analog of the serial scheduler's blocked[r]().
+func (o *optState) predHoldsLocked(r int) bool {
+	ev := o.streams[r][o.pos[r]]
+	w := o.w
+	switch ev.kind {
+	case evColl:
+		cs := w.colls[ev.comm.id]
+		return cs != nil && cs.gen > ev.collGen
+	case evRecv:
+		s := &ev.slots[ev.sub]
+		return w.hasMatchLocked(s.key, s.src, s.tag)
+	case evWaitsome:
+		for i := range ev.slots {
+			s := &ev.slots[i]
+			if w.hasMatchLocked(s.key, s.src, s.tag) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// processLocked attempts to commit one event against committed state. It
+// returns false when the event's serial predicate fails (the rank blocks at
+// this point in the replayed order).
+func (o *optState) processLocked(ev *specEvent) bool {
+	switch ev.kind {
+	case evSend:
+		o.w.enqueueLocked(ev.sendKey, ev.msg)
+		return true
+	case evKeyval:
+		o.w.nextCommID++
+		ev.keyvalID = o.w.nextCommID
+		ev.state = esResolved
+		return true
+	case evColl:
+		return o.processCollLocked(ev)
+	case evRecv:
+		return o.processRecvLocked(ev)
+	case evWaitsome:
+		return o.processWaitsomeLocked(ev)
+	}
+	panic(fmt.Sprintf("mpi: unknown speculative event kind %d", int(ev.kind)))
+}
+
+// processCollLocked replays a collective join for the committed order: it
+// mirrors collectiveLocked exactly, with the event's recorded entry clock
+// and contribution standing in for the rank's live state.
+func (o *optState) processCollLocked(ev *specEvent) bool {
+	w := o.w
+	c := ev.comm
+	cs := w.colls[c.id]
+	if cs == nil {
+		cs = &collState{}
+		w.colls[c.id] = cs
+	}
+	if !ev.collJoined {
+		if cs.arrived == 0 {
+			cs.kind = ev.collKind
+			cs.op = ev.collOp
+			cs.root = ev.collRoot
+			cs.tmax = 0
+			cs.contrib = make([][]float64, len(c.group))
+		} else if cs.kind != ev.collKind || cs.root != ev.collRoot {
+			panic(fmt.Sprintf("mpi: collective mismatch on comm %d: rank %d issued %v(root=%d) while %v(root=%d) in flight",
+				c.id, c.rank, ev.collKind, ev.collRoot, cs.kind, cs.root))
+		}
+		ev.collGen = cs.gen
+		cs.arrived++
+		if ev.clock > cs.tmax {
+			cs.tmax = ev.clock
+		}
+		if ev.contrib != nil {
+			cs.contrib[c.rank] = ev.contrib
+		}
+		ev.collJoined = true
+		if cs.arrived == len(c.group) {
+			c.completeCollectiveLocked(cs)
+		}
+	}
+	if cs.gen <= ev.collGen {
+		return false // parked until the collective's last member arrives
+	}
+	ev.collLeave = cs.lastLeave
+	if cs.lastResult != nil {
+		ev.collRes = cs.lastResult[c.rank]
+	}
+	ev.collID = cs.lastID
+	ev.state = esResolved
+	return true
+}
+
+// processRecvLocked validates a recorded receive (Recv/Wait/Waitall): it
+// performs the authoritative committed-order matches slot by slot,
+// replaying the serial clock progression, and compares them against the
+// rank's speculative picks. A wildcard mismatch marks the event conflicted
+// (the owning rank will roll back and re-execute from the recorded truth);
+// a specific-source mismatch is impossible by construction and panics.
+func (o *optState) processRecvLocked(ev *specEvent) bool {
+	w := o.w
+	for ev.sub < len(ev.slots) {
+		s := &ev.slots[ev.sub]
+		m := w.matchLocked(s.key, s.src, s.tag)
+		if m == nil {
+			return false // blocked here in the serial order
+		}
+		switch {
+		case ev.conflicted:
+			// Past the first mismatch only the truth matters: the rank will
+			// re-execute every slot from it.
+			s.truth = m
+		case s.got == nil:
+			// The rank has not picked yet (it is parked): assign the truth
+			// as its pick so it completes conflict-free.
+			s.got, s.truth, s.byAuto = m, m, true
+			m.taken = true
+		case s.got == m:
+			s.truth = m
+		case s.src != AnySource:
+			panic(fmt.Sprintf("mpi: optimistic scheduler invariant violation: rank %d %s slot %d picked message (src=%d tag=%d arrive=%.3f) but committed match is (src=%d tag=%d arrive=%.3f)",
+				ev.rank, ev.op, ev.sub, s.got.src, s.got.tag, s.got.arrive, m.src, m.tag, m.arrive))
+		default:
+			ev.conflicted = true
+			o.stats.Conflicts++
+			s.truth = m
+		}
+		o.pubRemoveLocked(s.key, m)
+		t := m.arrive
+		if ev.clock > t {
+			t = ev.clock
+		}
+		n := len(m.data)
+		if s.bufLen < n {
+			n = s.bufLen // rank-side consume panics on truncation; mirror min
+		}
+		ev.clock = t + float64(bytesOf(n))/copyBytesPerUS
+		ev.sub++
+	}
+	if ev.conflicted {
+		ev.state = esConflict
+	} else {
+		ev.state = esResolved
+	}
+	return true
+}
+
+// processWaitsomeLocked validates a recorded Waitsome at its serial wake
+// point: the committed completion set is every posted receive with a queued
+// match, consumed in posting order. If the rank speculated a different set
+// (or different messages) the event is conflicted.
+func (o *optState) processWaitsomeLocked(ev *specEvent) bool {
+	w := o.w
+	any := false
+	for i := range ev.slots {
+		s := &ev.slots[i]
+		if w.hasMatchLocked(s.key, s.src, s.tag) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return false
+	}
+	conflict := false
+	for i := range ev.slots {
+		s := &ev.slots[i]
+		m := w.matchLocked(s.key, s.src, s.tag)
+		s.truth = m
+		if m != nil {
+			o.pubRemoveLocked(s.key, m)
+			t := m.arrive
+			if ev.clock > t {
+				t = ev.clock
+			}
+			n := len(m.data)
+			if s.bufLen < n {
+				n = s.bufLen
+			}
+			ev.clock = t + float64(bytesOf(n))/copyBytesPerUS
+		}
+		if ev.specDone {
+			if s.got != m {
+				if len(ev.slots) == 1 && s.src != AnySource {
+					panic(fmt.Sprintf("mpi: optimistic scheduler invariant violation: rank %d single specific-source Waitsome mismatched its committed match", ev.rank))
+				}
+				conflict = true
+			}
+		} else if m != nil {
+			s.got, s.byAuto = m, true
+			m.taken = true
+		}
+	}
+	if conflict {
+		o.stats.Conflicts++
+		ev.state = esConflict
+	} else {
+		ev.state = esResolved
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Rank-side operations (called from Comm entry points when w.opt).
+
+// optPostSend publishes a fully computed message immediately and records
+// the send for the committed-order replay. Sends never block (beyond the
+// speculation window) and never conflict: arrival time and noise use only
+// the sender's clock and RNG, which are exact at every operation boundary.
+func (c *Comm) optPostSend(key mailKey, m *message) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	o := w.o
+	ev := &specEvent{kind: evSend, rank: c.r.rank, op: "MPI_Send()", comm: c, clock: c.r.Proc.Now(), sendKey: key, msg: m}
+	o.appendLocked(c.r.rank, ev)
+	o.pub[key] = append(o.pub[key], m)
+	o.stats.PublishedSends++
+	w.cond.Broadcast() // a parked receiver may now have a published match
+}
+
+// optCompleteRecvs completes the pending receives in reqs in posting order:
+// the shared path behind Recv, Wait and Waitall. Specific-source slots
+// complete on publication (the conflict-free fast path); if any slot is
+// AnySource the whole operation speculates under an undo log and parks for
+// the automaton's verdict before returning.
+func (c *Comm) optCompleteRecvs(op string, reqs []*Request) {
+	w := c.world
+	rank := c.r.rank
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	o := w.o
+
+	var slots []recvSlot
+	var sreqs []*Request
+	spec := false
+	for _, q := range reqs {
+		if !q.isRecv || q.done || q.canceled {
+			continue
+		}
+		key := mailKey{comm: q.comm.id, dst: q.comm.group[q.comm.rank]}
+		slots = append(slots, recvSlot{key: key, src: q.src, tag: q.tag, bufLen: len(q.buf)})
+		sreqs = append(sreqs, q)
+		if q.src == AnySource {
+			spec = true
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+	ev := &specEvent{kind: evRecv, rank: rank, op: op, comm: c, clock: c.r.Proc.Now(), slots: slots}
+	o.appendLocked(rank, ev)
+
+	var undo *specUndo
+	if spec {
+		undo = c.r.specCheckpointLocked(sreqs)
+		o.stats.SpeculatedOps++
+	}
+
+	for i := range ev.slots {
+		s := &ev.slots[i]
+		q := sreqs[i]
+		w.optParkLocked(rank, blockDesc{op: op, comm: q.comm.id, src: q.src, tag: q.tag}, func() bool {
+			return ev.state == esConflict || s.got != nil || o.pubFindLocked(s.key, s.src, s.tag, s.bufLen) != nil
+		})
+		if ev.state == esConflict {
+			break
+		}
+		if s.got == nil {
+			m := o.pubFindLocked(s.key, s.src, s.tag, s.bufLen)
+			m.taken = true
+			s.got = m
+			if undo != nil {
+				undo.taken = append(undo.taken, m)
+			}
+		}
+		q.comm.consumeLocked(s.got, q)
+	}
+	if undo == nil {
+		// All slots specific-source: publication order equals committed
+		// FIFO order, so the picks are the serial matches by construction.
+		o.stats.PipelinedOps++
+		return
+	}
+
+	// Speculated: hold the operation until the automaton validates it.
+	w.optParkLocked(rank, blockDesc{op: op, comm: c.id, src: sreqs[0].src, tag: sreqs[0].tag, pending: len(slots) - 1},
+		func() bool { return ev.state != esPending })
+	if ev.state == esResolved {
+		return
+	}
+	// Conflict: discard the speculated execution and replay every slot from
+	// the committed truth.
+	reexec := c.r.Proc.Now() - undo.proc.Clock
+	c.r.rollbackLocked(undo)
+	o.stats.Rollbacks++
+	o.stats.ReexecutedUS += reexec
+	for i := range ev.slots {
+		s := &ev.slots[i]
+		s.truth.taken = true
+		sreqs[i].comm.consumeLocked(s.truth, sreqs[i])
+	}
+	ev.state = esResolved
+}
+
+// optWaitsome implements Waitsome's pending-receive path. With exactly one
+// pending specific-source receive the completion set is deterministic and
+// the operation pipelines; otherwise the completion set depends on the
+// serial wake time, so the rank speculates (consuming every receive that is
+// currently matchable in the published view) and parks for the verdict.
+func (c *Comm) optWaitsome(reqs []*Request) []int {
+	w := c.world
+	rank := c.r.rank
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	o := w.o
+
+	var slots []recvSlot
+	var sreqs []*Request
+	var idxs []int
+	for i, q := range reqs {
+		if !q.isRecv || q.done || q.canceled {
+			continue
+		}
+		key := mailKey{comm: q.comm.id, dst: q.comm.group[q.comm.rank]}
+		slots = append(slots, recvSlot{key: key, src: q.src, tag: q.tag, bufLen: len(q.buf)})
+		sreqs = append(sreqs, q)
+		idxs = append(idxs, i)
+	}
+	ev := &specEvent{kind: evWaitsome, rank: rank, op: "MPI_Waitsome()", comm: c, clock: c.r.Proc.Now(), slots: slots}
+	o.appendLocked(rank, ev)
+	fast := len(slots) == 1 && slots[0].src != AnySource
+
+	w.optParkLocked(rank, blockDesc{op: "MPI_Waitsome()", comm: c.id, pending: len(slots)}, func() bool {
+		if ev.state != esPending {
+			return true
+		}
+		for i := range ev.slots {
+			s := &ev.slots[i]
+			if s.got != nil || o.pubFindLocked(s.key, s.src, s.tag, s.bufLen) != nil {
+				return true
+			}
+		}
+		return false
+	})
+
+	var out []int
+	if ev.state == esResolved && !ev.specDone {
+		// The automaton resolved the event while we were parked: its byAuto
+		// assignments are the committed completion set.
+		for i := range ev.slots {
+			s := &ev.slots[i]
+			if s.got == nil {
+				continue
+			}
+			sreqs[i].comm.consumeLocked(s.got, sreqs[i])
+			out = append(out, idxs[i])
+		}
+		return out
+	}
+
+	var undo *specUndo
+	if !fast {
+		undo = c.r.specCheckpointLocked(sreqs)
+		o.stats.SpeculatedOps++
+	}
+	for i := range ev.slots {
+		s := &ev.slots[i]
+		m := s.got
+		if m == nil {
+			m = o.pubFindLocked(s.key, s.src, s.tag, s.bufLen)
+			if m == nil {
+				continue
+			}
+			m.taken = true
+			s.got = m
+			if undo != nil {
+				undo.taken = append(undo.taken, m)
+			}
+		}
+		sreqs[i].comm.consumeLocked(m, sreqs[i])
+		out = append(out, idxs[i])
+	}
+	ev.specDone = true
+	if fast {
+		o.stats.PipelinedOps++
+		return out
+	}
+
+	w.optParkLocked(rank, blockDesc{op: "MPI_Waitsome()", comm: c.id, pending: len(slots)},
+		func() bool { return ev.state != esPending })
+	if ev.state == esResolved {
+		return out
+	}
+	reexec := c.r.Proc.Now() - undo.proc.Clock
+	c.r.rollbackLocked(undo)
+	o.stats.Rollbacks++
+	o.stats.ReexecutedUS += reexec
+	out = out[:0]
+	for i := range ev.slots {
+		s := &ev.slots[i]
+		if s.truth == nil {
+			continue
+		}
+		s.truth.taken = true
+		sreqs[i].comm.consumeLocked(s.truth, sreqs[i])
+		out = append(out, idxs[i])
+	}
+	ev.state = esResolved
+	return out
+}
+
+// optCollective records the rank's arrival at a collective and parks until
+// the automaton has replayed every member's arrival in the committed order
+// — collectives draw from the shared world RNG, so their completion is
+// strictly commit-ordered.
+func (c *Comm) optCollective(kind collKind, data []float64, root int, op Op) ([]float64, int) {
+	w := c.world
+	rank := c.r.rank
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	o := w.o
+	var contrib []float64
+	if data != nil {
+		contrib = make([]float64, len(data))
+		copy(contrib, data)
+	}
+	ev := &specEvent{
+		kind: evColl, rank: rank, op: "MPI_" + kind.String() + "()", comm: c,
+		clock: c.r.Proc.Now(), collKind: kind, collRoot: root, collOp: op, contrib: contrib,
+	}
+	o.appendLocked(rank, ev)
+	w.optParkLocked(rank, blockDesc{op: ev.op, comm: c.id}, func() bool { return ev.state == esResolved })
+	c.r.Proc.SyncTo(ev.collLeave)
+	return ev.collRes, ev.collID
+}
+
+// optKeyvalCreate records an id allocation and parks until the automaton
+// replays it — id allocation is order-sensitive shared state.
+func (c *Comm) optKeyvalCreate() int {
+	w := c.world
+	rank := c.r.rank
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ev := &specEvent{kind: evKeyval, rank: rank, op: "MPI_Keyval_create()", comm: c, clock: c.r.Proc.Now()}
+	w.o.appendLocked(rank, ev)
+	w.optParkLocked(rank, blockDesc{op: ev.op, comm: c.id}, func() bool { return ev.state == esResolved })
+	return ev.keyvalID
+}

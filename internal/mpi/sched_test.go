@@ -16,6 +16,13 @@ func parConfig(p int) WorldConfig {
 	return cfg
 }
 
+// optConfig returns testConfig with the optimistic (Time Warp) scheduler.
+func optConfig(p int) WorldConfig {
+	cfg := testConfig(p)
+	cfg.Sched = OptimisticParallel
+	return cfg
+}
+
 // worldTrace is everything a scheduler-equivalence test compares: the
 // per-rank final clocks and counters, the gob-serialized TAU profiles
 // (bit-for-bit), and an application-level receive log.
@@ -69,11 +76,13 @@ func assertTracesEqual(t *testing.T, serial, par worldTrace) {
 	}
 }
 
-// bothScheds runs the same body under the serial and the conservative
-// parallel scheduler and requires bit-identical traces.
+// bothScheds runs the same body under the serial, conservative parallel and
+// optimistic schedulers and requires bit-identical traces.
 func bothScheds(t *testing.T, p int, body func(r *Rank, log *[]string)) {
 	t.Helper()
-	assertTracesEqual(t, runTraced(t, testConfig(p), body), runTraced(t, parConfig(p), body))
+	serial := runTraced(t, testConfig(p), body)
+	assertTracesEqual(t, serial, runTraced(t, parConfig(p), body))
+	assertTracesEqual(t, serial, runTraced(t, optConfig(p), body))
 }
 
 // TestParallelMatchesSerialPointToPoint covers the ghost-exchange shape:
@@ -117,9 +126,13 @@ func TestParallelMatchesSerialPointToPoint(t *testing.T) {
 					}
 				}
 			}
+			serial := runTraced(t, cfg, body)
 			par := cfg
 			par.Sched = ConservativeParallel
-			assertTracesEqual(t, runTraced(t, cfg, body), runTraced(t, par, body))
+			assertTracesEqual(t, serial, runTraced(t, par, body))
+			opt := cfg
+			opt.Sched = OptimisticParallel
+			assertTracesEqual(t, serial, runTraced(t, opt, body))
 		})
 	}
 }
@@ -185,9 +198,10 @@ func TestParallelMaxParallelRanks(t *testing.T) {
 	}
 	serial := runTraced(t, testConfig(5), body)
 	for _, cap := range []int{1, 2, 16} {
-		cfg := parConfig(5)
-		cfg.MaxParallelRanks = cap
-		assertTracesEqual(t, serial, runTraced(t, cfg, body))
+		for _, mode := range []SchedulerMode{ConservativeParallel, OptimisticParallel} {
+			cfg := testConfig(5).WithScheduler(mode, cap)
+			assertTracesEqual(t, serial, runTraced(t, cfg, body))
+		}
 	}
 }
 
@@ -195,7 +209,7 @@ func TestParallelMaxParallelRanks(t *testing.T) {
 // pair produces the extended diagnostic — per-rank state and the pending
 // lookahead horizon — instead of hanging, under both schedulers.
 func TestDeadlockDiagnosticsBothModes(t *testing.T) {
-	for _, cfg := range []WorldConfig{testConfig(3), parConfig(3)} {
+	for _, cfg := range []WorldConfig{testConfig(3), parConfig(3), optConfig(3)} {
 		cfg := cfg
 		t.Run(cfg.Sched.String(), func(t *testing.T) {
 			t.Parallel()
@@ -232,7 +246,7 @@ func TestDeadlockDiagnosticsBothModes(t *testing.T) {
 // TestDeadlockInCollectiveDiagnostics names the collective a rank is stuck
 // in when the cohort never completes.
 func TestDeadlockInCollectiveDiagnostics(t *testing.T) {
-	for _, cfg := range []WorldConfig{testConfig(2), parConfig(2)} {
+	for _, cfg := range []WorldConfig{testConfig(2), parConfig(2), optConfig(2)} {
 		cfg := cfg
 		t.Run(cfg.Sched.String(), func(t *testing.T) {
 			t.Parallel()
@@ -309,17 +323,19 @@ func TestSchedGoStringStability(t *testing.T) {
 }
 
 // TestParallelBodyPanicPropagates: a rank panic aborts the world and
-// surfaces as an error under the parallel scheduler too.
+// surfaces as an error under both parallel schedulers too.
 func TestParallelBodyPanicPropagates(t *testing.T) {
 	t.Parallel()
-	w := NewWorld(parConfig(3))
-	err := w.Run(func(r *Rank) {
-		if r.Rank() == 1 {
-			panic("application failure")
+	for _, cfg := range []WorldConfig{parConfig(3), optConfig(3)} {
+		w := NewWorld(cfg)
+		err := w.Run(func(r *Rank) {
+			if r.Rank() == 1 {
+				panic("application failure")
+			}
+			r.Comm.Barrier()
+		})
+		if err == nil || !strings.Contains(err.Error(), "application failure") {
+			t.Fatalf("sched=%v: expected rank panic to propagate, got %v", cfg.Sched, err)
 		}
-		r.Comm.Barrier()
-	})
-	if err == nil || !strings.Contains(err.Error(), "application failure") {
-		t.Fatalf("expected rank panic to propagate, got %v", err)
 	}
 }

@@ -53,8 +53,8 @@ const (
 	stDone
 )
 
-// SchedulerMode selects how World.Run schedules its rank goroutines. The
-// two modes produce bit-for-bit identical virtual clocks, profiles and
+// SchedulerMode selects how World.Run schedules its rank goroutines. All
+// modes produce bit-for-bit identical virtual clocks, profiles and
 // message orders; they differ only in wall-clock time and core usage.
 type SchedulerMode int
 
@@ -67,18 +67,44 @@ const (
 	// its next interaction (its lookahead horizon) on its own goroutine,
 	// and shared-state commits replay the serial token order exactly.
 	ConservativeParallel
+	// OptimisticParallel speculates past order-sensitive operations in the
+	// Time Warp style: ranks run ahead publishing sends immediately, match
+	// wildcard receives tentatively under an undo log, and a commit
+	// automaton replays the serial token order over the recorded event
+	// streams, validating every speculative outcome before the operation
+	// returns — rolling the rank back and re-executing on a mis-match.
+	// Results stay bit-identical to Serial; only wall-clock time changes.
+	OptimisticParallel
 )
 
-// String returns the mode's stable token ("serial", "par"), used by the
-// campaign scheduler axis and command-line flags.
+// schedulerModeTokens is the single registry of valid scheduler modes and
+// their stable string tokens. String, Validate and flag parsing all read
+// this table, so adding a mode cannot silently produce "SchedulerMode(n)"
+// scenario keys or pass validation unchecked.
+var schedulerModeTokens = map[SchedulerMode]string{
+	Serial:               "serial",
+	ConservativeParallel: "par",
+	OptimisticParallel:   "opt",
+}
+
+// String returns the mode's stable token ("serial", "par", "opt"), used by
+// the campaign scheduler axis and command-line flags.
 func (m SchedulerMode) String() string {
-	switch m {
-	case Serial:
-		return "serial"
-	case ConservativeParallel:
-		return "par"
+	if tok, ok := schedulerModeTokens[m]; ok {
+		return tok
 	}
 	return fmt.Sprintf("SchedulerMode(%d)", int(m))
+}
+
+// ParseSchedulerMode maps a stable token ("serial", "par", "opt") back to
+// its SchedulerMode, for command-line flags.
+func ParseSchedulerMode(tok string) (SchedulerMode, error) {
+	for m, t := range schedulerModeTokens {
+		if t == tok {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("mpi: unknown scheduler mode %q (want serial, par or opt)", tok)
 }
 
 // CPUTune scales the per-rank CPU model relative to its calibrated base —
@@ -143,11 +169,11 @@ type WorldConfig struct {
 	// its calibrated base. The zero value changes nothing.
 	Tune CPUTune
 	// Sched selects the rank scheduler. The zero value is the serial token
-	// scheduler; ConservativeParallel runs rank compute concurrently with
-	// bit-for-bit identical results.
+	// scheduler; ConservativeParallel and OptimisticParallel run rank
+	// compute concurrently with bit-for-bit identical results.
 	Sched SchedulerMode
-	// MaxParallelRanks caps how many ranks compute concurrently under
-	// ConservativeParallel. Zero means no cap (the Go runtime's GOMAXPROCS
+	// MaxParallelRanks caps how many ranks compute concurrently under the
+	// parallel schedulers. Zero means no cap (the Go runtime's GOMAXPROCS
 	// governs actual parallelism); it is ignored by the serial scheduler.
 	MaxParallelRanks int
 }
@@ -198,7 +224,7 @@ func (c WorldConfig) Validate() error {
 	if c.Procs <= 0 {
 		return fmt.Errorf("mpi: invalid world config: Procs %d (world size must be positive)", c.Procs)
 	}
-	if c.Sched != Serial && c.Sched != ConservativeParallel {
+	if _, ok := schedulerModeTokens[c.Sched]; !ok {
 		return fmt.Errorf("mpi: invalid world config: unknown scheduler mode %d", int(c.Sched))
 	}
 	if c.MaxParallelRanks < 0 {
@@ -219,8 +245,17 @@ func (c WorldConfig) WithRankParallelism(n int) WorldConfig {
 	if n == 0 {
 		return c
 	}
-	c.Sched = ConservativeParallel
-	if n > 0 {
+	return c.WithScheduler(ConservativeParallel, n)
+}
+
+// WithScheduler returns the config with the given scheduler mode and
+// parallel-rank cap, the shape the -rankmode/-rankpar command-line flags
+// use. For the parallel modes, n > 0 caps concurrency at n ranks and n <= 0
+// means no cap; for Serial the cap is cleared. Results are bit-identical in
+// every mode; only wall-clock time changes.
+func (c WorldConfig) WithScheduler(mode SchedulerMode, n int) WorldConfig {
+	c.Sched = mode
+	if mode != Serial && n > 0 {
 		c.MaxParallelRanks = n
 	} else {
 		c.MaxParallelRanks = 0
@@ -250,6 +285,11 @@ type message struct {
 	data   []float64
 	arrive float64 // virtual arrival time at the destination
 	seq    uint64
+	// taken marks a published message tentatively consumed by a
+	// speculative receive under the optimistic scheduler: it stays out of
+	// later speculative picks while remaining visible to the committed-order
+	// replay, which performs the authoritative match.
+	taken bool
 }
 
 // pendingSend is a send buffered during parallel run-ahead: the message is
@@ -302,6 +342,11 @@ func (d blockDesc) String() string {
 type World struct {
 	cfg WorldConfig
 	par bool // cfg.Sched == ConservativeParallel
+	opt bool // cfg.Sched == OptimisticParallel
+
+	// o holds the optimistic scheduler's shared state (published messages,
+	// per-rank event streams, the commit automaton). Nil unless opt.
+	o *optState
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -371,6 +416,7 @@ func NewWorld(cfg WorldConfig) *World {
 	w := &World{
 		cfg:        cfg,
 		par:        cfg.Sched == ConservativeParallel,
+		opt:        cfg.Sched == OptimisticParallel,
 		current:    -1,
 		mailboxes:  make(map[mailKey][]*message),
 		colls:      make(map[int]*collState),
@@ -397,13 +443,16 @@ func NewWorld(cfg WorldConfig) *World {
 		w.ranks = append(w.ranks, r)
 		w.status[i] = stReady
 	}
-	if w.par {
+	if w.par || w.opt {
 		w.slots = cfg.MaxParallelRanks
 		w.slotHeld = make([]bool, cfg.Procs)
 		w.vclock = make([]float64, cfg.Procs)
 		for i, r := range w.ranks {
 			w.vclock[i] = r.Proc.Now()
 		}
+	}
+	if w.opt {
+		w.o = newOptState(w)
 	}
 	return w
 }
@@ -450,7 +499,12 @@ type abortPanic struct{}
 // immediately (subject to the MaxParallelRanks cap) and synchronizes with
 // the replayed token order only at communication events; a finishing rank
 // commits its buffered sends at its token turn before going Done, exactly
-// where the serial schedule would have placed them.
+// where the serial schedule would have placed them. Under
+// OptimisticParallel goroutines also start immediately, publish sends as
+// they happen, and speculate past order-sensitive receives; the commit
+// automaton validates the recorded event streams against the serial order
+// and finishing ranks simply mark their streams complete — the automaton
+// commits their tails in serial order.
 func (w *World) Run(body func(*Rank)) error {
 	var wg sync.WaitGroup
 	for i := 0; i < w.cfg.Procs; i++ {
@@ -467,10 +521,25 @@ func (w *World) Run(body func(*Rank)) error {
 				w.status[rank] = stDone
 				w.blocked[rank] = nil
 				w.releaseSlotLocked(rank)
-				w.advanceLocked()
+				if w.opt {
+					w.o.finished[rank] = true
+					w.o.parked[rank] = false
+					w.cond.Broadcast()
+				} else {
+					w.advanceLocked()
+				}
 				w.mu.Unlock()
 			}()
-			if w.par {
+			if w.opt {
+				func() {
+					w.mu.Lock()
+					defer w.mu.Unlock()
+					if !w.acquireSlotLocked(rank) {
+						panic(abortPanic{})
+					}
+				}()
+				body(w.ranks[rank])
+			} else if w.par {
 				func() {
 					w.mu.Lock()
 					defer w.mu.Unlock()
@@ -493,10 +562,23 @@ func (w *World) Run(body func(*Rank)) error {
 			}
 		}(i)
 	}
-	w.mu.Lock()
-	w.advanceLocked()
-	w.mu.Unlock()
+	if !w.opt {
+		w.mu.Lock()
+		w.advanceLocked()
+		w.mu.Unlock()
+	}
 	wg.Wait()
+	if w.opt {
+		// Drain the commit automaton so the committed world state (mailbox
+		// residue, communicator ids, telemetry) reflects the full serial
+		// order even though every rank has already returned.
+		w.mu.Lock()
+		if !w.aborted {
+			for w.autoStepLocked() {
+			}
+		}
+		w.mu.Unlock()
+	}
 	for _, err := range w.panics {
 		if err != nil {
 			return err
@@ -564,7 +646,7 @@ func (w *World) flushSendsLocked(rank int) {
 // aborted while waiting. A no-op (true) in serial mode or when the rank
 // already holds a slot.
 func (w *World) acquireSlotLocked(rank int) bool {
-	if !w.par || w.slotHeld[rank] {
+	if !(w.par || w.opt) || w.slotHeld[rank] {
 		return !w.aborted
 	}
 	for w.slots > 0 && w.active >= w.slots {
@@ -583,7 +665,7 @@ func (w *World) acquireSlotLocked(rank int) bool {
 
 // releaseSlotLocked returns the rank's compute slot, waking slot waiters.
 func (w *World) releaseSlotLocked(rank int) {
-	if !w.par || !w.slotHeld[rank] {
+	if !(w.par || w.opt) || !w.slotHeld[rank] {
 		return
 	}
 	w.active--
@@ -597,6 +679,12 @@ func (w *World) releaseSlotLocked(rank int) {
 // scheduler reads the value committed at the rank's last scheduling point
 // instead — which is exactly the clock the serial scheduler would see.
 func (w *World) schedClockLocked(r int) float64 {
+	if w.opt {
+		// Only consulted for diagnostics (deadlock report, lookahead
+		// horizon): at that point every live rank is parked, so its Proc is
+		// quiescent and safe to read under the lock.
+		return w.ranks[r].Proc.Now()
+	}
 	if w.par {
 		switch w.status[r] {
 		case stBlocked, stDone:
@@ -702,6 +790,11 @@ func (w *World) deadlockReportLocked() string {
 		fmt.Fprintf(&sb, "  pending lookahead horizon: t=%.3fus (min of queued arrivals and live clocks + %.3fus net latency)\n",
 			h, w.cfg.Net.LatencyUS)
 	}
+	if w.o != nil {
+		s := w.o.stats
+		fmt.Fprintf(&sb, "  optimistic speculation: %d sends published, %d ops pipelined, %d speculated, %d committed, %d conflicts, %d rollbacks, %.3fus re-executed, %d window stalls\n",
+			s.PublishedSends, s.PipelinedOps, s.SpeculatedOps, s.CommittedOps, s.Conflicts, s.Rollbacks, s.ReexecutedUS, s.WindowStalls)
+	}
 	return sb.String()
 }
 
@@ -714,6 +807,21 @@ func (w *World) pendingArrivalLocked() (earliest float64, n int) {
 			n++
 			if m.arrive < earliest {
 				earliest = m.arrive
+			}
+		}
+	}
+	if w.o != nil {
+		// Published messages whose send has not yet committed are in flight
+		// too; committed ones already appear in the mailboxes above.
+		for _, box := range w.o.pub {
+			for _, m := range box {
+				if m.seq != 0 {
+					continue
+				}
+				n++
+				if m.arrive < earliest {
+					earliest = m.arrive
+				}
 			}
 		}
 	}

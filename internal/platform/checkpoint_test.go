@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestProcCheckpointRestoresRNGStream verifies that restoring a checkpoint
+// rewinds the random stream exactly: draws after the restore reproduce the
+// draws made after the checkpoint bit-for-bit.
+func TestProcCheckpointRestoresRNGStream(t *testing.T) {
+	p := NewProc(2, XeonModel(), cache.XeonL2(), 42)
+	for i := 0; i < 17; i++ {
+		p.RNG().Float64()
+	}
+	cp := p.Checkpoint()
+
+	var first []float64
+	for i := 0; i < 9; i++ {
+		first = append(first, p.RNG().NormFloat64()) // rejection sampling: variable step count
+	}
+	p.Restore(cp)
+	for i, want := range first {
+		if got := p.RNG().NormFloat64(); got != want {
+			t.Fatalf("draw %d after restore: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestProcCheckpointRestoresClockAndCounters verifies clock, heap cursor,
+// FLOP counter and cache counters all rewind.
+func TestProcCheckpointRestoresClockAndCounters(t *testing.T) {
+	p := NewProc(0, XeonModel(), cache.XeonL2(), 7)
+	base := p.Alloc(4096)
+	p.ChargeFlops(100)
+	p.ChargeStream(base, 512, 8)
+	cp := p.Checkpoint()
+	wantCtr := p.Counters()
+	wantClock := p.Now()
+	wantAddr := p.nextAddr
+
+	p.Advance(123.5)
+	p.ChargeFlops(999)
+	p.ChargeStream(base, 64, 8)
+	p.Alloc(64)
+
+	p.Restore(cp)
+	if p.Now() != wantClock {
+		t.Errorf("clock: got %v, want %v", p.Now(), wantClock)
+	}
+	if p.Counters() != wantCtr {
+		t.Errorf("counters: got %+v, want %+v", p.Counters(), wantCtr)
+	}
+	if p.nextAddr != wantAddr {
+		t.Errorf("heap cursor: got %d, want %d", p.nextAddr, wantAddr)
+	}
+}
+
+// TestProcRestoreRejectsFutureCheckpoint verifies a checkpoint with more RNG
+// draws than have happened cannot be applied.
+func TestProcRestoreRejectsFutureCheckpoint(t *testing.T) {
+	p := NewProc(0, XeonModel(), cache.XeonL2(), 7)
+	p.RNG().Float64()
+	cp := p.Checkpoint()
+	q := NewProc(0, XeonModel(), cache.XeonL2(), 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic restoring a future RNG checkpoint")
+		}
+	}()
+	q.Restore(cp)
+}

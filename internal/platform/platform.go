@@ -88,10 +88,98 @@ type Proc struct {
 	cpu   CPUModel
 	cache *cache.Cache
 	rng   *rand.Rand
+	src   *countingSource
 
 	clock    Time
 	nextAddr uint64
 	fpOps    uint64
+}
+
+// countingSource wraps the standard random source and counts how many times
+// it has stepped. Because the generator is deterministic, the step count is
+// a complete checkpoint of the stream: rewinding rebuilds the source from
+// its seed and replays the recorded number of steps. Both Int63 and Uint64
+// advance the underlying generator exactly once, so replaying with Uint64
+// reproduces the state regardless of which method originally drew.
+type countingSource struct {
+	seed  int64
+	src   rand.Source64
+	steps uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.steps++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.steps++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.seed = seed
+	s.steps = 0
+	s.src.Seed(seed)
+}
+
+// rewindTo restores the source to the state it had after n steps. n must not
+// exceed the current step count: a random stream can be rewound, never
+// fast-forwarded past draws that have not happened.
+func (s *countingSource) rewindTo(n uint64) {
+	if n > s.steps {
+		panic(fmt.Sprintf("platform: cannot advance RNG checkpoint from %d to %d steps", s.steps, n))
+	}
+	if n == s.steps {
+		return
+	}
+	s.src = rand.NewSource(s.seed).(rand.Source64)
+	for s.steps = 0; s.steps < n; s.steps++ {
+		s.src.Uint64()
+	}
+}
+
+// ProcState is a checkpoint of a Proc's mutable rank-local state: the
+// virtual clock, the heap cursor, the FLOP counter, the random stream (as a
+// draw count) and the cache counters. Cache *contents* (resident lines and
+// LRU order) are not included — use cache.Cache.Checkpoint alongside when
+// the checkpointed region touches memory. The optimistic rank scheduler
+// checkpoints Procs around speculative MPI operations, which never access
+// the cache, so the cheap state here is exactly what rollback must restore.
+type ProcState struct {
+	Clock      Time
+	NextAddr   uint64
+	FPOps      uint64
+	RNGSteps   uint64
+	CacheStats cache.Stats
+}
+
+// Checkpoint captures the Proc's mutable state for a later Restore.
+func (p *Proc) Checkpoint() ProcState {
+	return ProcState{
+		Clock:      p.clock,
+		NextAddr:   p.nextAddr,
+		FPOps:      p.fpOps,
+		RNGSteps:   p.src.steps,
+		CacheStats: p.cache.Stats(),
+	}
+}
+
+// Restore rewinds the Proc to a previously captured checkpoint: clock, heap
+// cursor, FLOP counter, cache counters, and the random stream (replayed
+// deterministically to the recorded draw count, so future draws are
+// bit-identical to a run that never went past the checkpoint). It panics if
+// the checkpoint is from the future (more RNG draws than have happened).
+func (p *Proc) Restore(s ProcState) {
+	p.clock = s.Clock
+	p.nextAddr = s.NextAddr
+	p.fpOps = s.FPOps
+	p.src.rewindTo(s.RNGSteps)
+	p.cache.RestoreStats(s.CacheStats)
 }
 
 // lineAlign is the alignment of virtual allocations; matching the cache line
@@ -105,11 +193,13 @@ const baseAddr = 1 << 20
 // NewProc creates the execution context for one rank.
 // seed disambiguates the random streams of different ranks and runs.
 func NewProc(rank int, cpu CPUModel, cacheCfg cache.Config, seed int64) *Proc {
+	src := newCountingSource(seed ^ int64(rank)*0x5E3779B97F4A7C15)
 	return &Proc{
 		rank:     rank,
 		cpu:      cpu,
 		cache:    cache.New(cacheCfg),
-		rng:      rand.New(rand.NewSource(seed ^ int64(rank)*0x5E3779B97F4A7C15)),
+		rng:      rand.New(src),
+		src:      src,
 		nextAddr: baseAddr,
 	}
 }

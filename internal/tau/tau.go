@@ -315,6 +315,47 @@ func (p *Profile) TriggerEvent(name string, value float64) {
 // Event returns the named event, or nil if it was never triggered.
 func (p *Profile) Event(name string) *Event { return p.events[name] }
 
+// EventsCheckpoint is a snapshot of every atomic event's statistics, taken
+// with CheckpointEvents and applied with RestoreEvents. It is opaque.
+type EventsCheckpoint struct {
+	events []Event // value copies, in creation order
+}
+
+// CheckpointEvents captures the statistics of every atomic event for a later
+// RestoreEvents. Events are small (a name and five numbers), so the snapshot
+// costs one value copy per distinct event name — cheap enough to take around
+// speculative regions that may trigger events and need undoing.
+func (p *Profile) CheckpointEvents() EventsCheckpoint {
+	cp := EventsCheckpoint{events: make([]Event, len(p.eventOrder))}
+	for i, e := range p.eventOrder {
+		cp.events[i] = *e
+	}
+	return cp
+}
+
+// RestoreEvents rewinds every atomic event to a previously captured
+// checkpoint: statistics of existing events are restored in place (pointers
+// returned by Event/Events stay valid) and events first triggered after the
+// checkpoint are removed. The checkpoint must come from this profile:
+// event creation order is append-only, so the checkpointed events must be a
+// prefix of the current ones, and a mismatch panics.
+func (p *Profile) RestoreEvents(cp EventsCheckpoint) {
+	if len(cp.events) > len(p.eventOrder) {
+		panic("tau: RestoreEvents with checkpoint from another profile or the future")
+	}
+	for i := range cp.events {
+		e := p.eventOrder[i]
+		if e.name != cp.events[i].name {
+			panic(fmt.Sprintf("tau: RestoreEvents order mismatch: %q vs checkpointed %q", e.name, cp.events[i].name))
+		}
+		*e = cp.events[i]
+	}
+	for _, e := range p.eventOrder[len(cp.events):] {
+		delete(p.events, e.name)
+	}
+	p.eventOrder = p.eventOrder[:len(cp.events)]
+}
+
 // Events returns all events in creation order.
 func (p *Profile) Events() []*Event {
 	out := make([]*Event, len(p.eventOrder))
