@@ -9,6 +9,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/harness"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/results"
 	"repro/internal/results/store"
@@ -128,6 +129,33 @@ type (
 	// LeaseOptions tunes the lease protocol (heartbeat TTL and renewal
 	// interval).
 	LeaseOptions = lease.Options
+
+	// Observer bundles the span tracer and the metrics registry the
+	// instrumented layers (campaign, store, lease, mpi) record into.
+	Observer = obs.Observer
+	// ObserverOptions configures NewObserver (per-track ring capacity).
+	ObserverOptions = obs.Options
+	// Tracer records spans and instants onto named tracks and exports
+	// Chrome trace-event JSON.
+	Tracer = obs.Tracer
+	// TraceTrack is one trace lane (a ring buffer under its own mutex);
+	// a nil track records nothing.
+	TraceTrack = obs.Track
+	// TraceFile is a parsed or exported Chrome trace-event document.
+	TraceFile = obs.TraceFile
+	// MetricsRegistry holds named counters, gauges and fixed-bucket
+	// histograms with text exposition.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is the live /metrics + /trace HTTP endpoint started
+	// by Observer.Serve.
+	MetricsServer = obs.MetricsServer
+	// OwnerExec is one completed job execution attributed to a lease
+	// owner, recovered from the store's audit log.
+	OwnerExec = obs.OwnerExec
+	// OwnerStat is one fleet member's row in the throughput report.
+	OwnerStat = obs.OwnerStat
+	// LeaseAuditEntry is one parsed line of an owner's audit log.
+	LeaseAuditEntry = lease.AuditEntry
 
 	// TrendReport is one kernel's coefficient-vs-axis analysis.
 	TrendReport = harness.TrendReport
@@ -291,6 +319,47 @@ func DistributedCampaignConfig(cc CampaignConfig, dir, owner string, opts LeaseO
 func ReadLeaseAudit(st *CheckpointStore) (map[string][]string, error) {
 	return lease.ReadAudit(st)
 }
+
+// ReadLeaseAuditEntries is ReadLeaseAudit with the full per-execution
+// detail (owner, key, elapsed time, end timestamp) — the input to the
+// per-owner throughput report.
+func ReadLeaseAuditEntries(st *CheckpointStore) ([]LeaseAuditEntry, error) {
+	return lease.ReadAuditEntries(st)
+}
+
+// NewObserver builds an observer with a fresh tracer and registry.
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
+
+// EnableObserver installs the process-global observer picked up by the
+// campaign engine, the MPI world, the checkpoint store and the lease
+// manager. Those layers capture their instruments at construction time,
+// so enable before OpenStore/OpenLeaseManager/RunCampaign. Observation
+// is write-only: an observed run's outputs, scenario keys, checkpoint
+// hashes and seeds are byte-identical to an unobserved run's.
+func EnableObserver(o *Observer) { obs.Enable(o) }
+
+// DisableObserver removes the process-global observer.
+func DisableObserver() { obs.Disable() }
+
+// ActiveObserver returns the process-global observer, or nil.
+func ActiveObserver() *Observer { return obs.Active() }
+
+// WriteOwnerReport renders the per-owner throughput table from lease
+// audit executions (convert LeaseAuditEntry values via OwnerExec).
+func WriteOwnerReport(w io.Writer, execs []OwnerExec) error {
+	return obs.WriteOwnerReport(w, execs)
+}
+
+// WriteTrackReport renders the per-track (worker/rank/owner) summary of
+// a parsed trace.
+func WriteTrackReport(w io.Writer, tf *TraceFile) error {
+	return obs.WriteTrackReport(w, tf)
+}
+
+// ParseTrace reads a Chrome trace-event JSON document; ValidateTrace
+// checks it against the structural rules chrome://tracing relies on.
+func ParseTrace(data []byte) (*TraceFile, error) { return obs.ParseTrace(data) }
+func ValidateTrace(tf *TraceFile) error          { return obs.ValidateTrace(tf) }
 
 // NewMemorySink returns a Sink buffering rows per key in memory.
 func NewMemorySink() *MemorySink { return results.NewMemorySink() }

@@ -30,6 +30,17 @@
 //     check to a warning — the escape hatch for a PR that knowingly trades
 //     benchmark time for something else. Use it in the PR that documents
 //     the trade, then refresh the baseline.
+//
+// Arming the gate on CI: -ifnew makes write mode idempotent per host
+// class — it runs the suite, then appends only when the log holds no run
+// whose fingerprint matches this host. The CI workflow runs
+//
+//	go run ./cmd/benchlog -out BENCH_0006.json -ifnew
+//
+// on pushes to the main branch and commits the file when it changed, so
+// the first push from a new runner class records its baseline and every
+// later pull request on that class gets a binding -check instead of the
+// host-mismatch escape.
 package main
 
 import (
@@ -99,10 +110,15 @@ func main() {
 		threshold = flag.Float64("threshold", 0.25, "relative ns/op growth above which -check fails (0.25 = +25%)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime per repetition")
 		count     = flag.Int("count", 3, "go test -count repetitions; results keep the minimum")
+		ifnew     = flag.Bool("ifnew", false, "with -out: append only when the log holds no run from this host class yet (arms the regression gate on a new host class exactly once)")
 	)
 	flag.Parse()
 	if (*out == "") == !*check {
 		fmt.Fprintln(os.Stderr, "benchlog: need exactly one of -out <file> or -check")
+		os.Exit(2)
+	}
+	if *ifnew && *out == "" {
+		fmt.Fprintln(os.Stderr, "benchlog: -ifnew needs -out")
 		os.Exit(2)
 	}
 
@@ -114,11 +130,46 @@ func main() {
 	if *check {
 		os.Exit(checkRun(*against, *threshold, host, results))
 	}
+	if *ifnew {
+		known, err := hostKnown(*out, host)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchlog:", err)
+			os.Exit(2)
+		}
+		if known {
+			fmt.Printf("benchlog: %s already holds a run from this host class (%s/%s %q x%d); not appending\n",
+				*out, host.GOOS, host.GOARCH, host.CPU, host.NumCPU)
+			return
+		}
+	}
 	if err := appendRun(*out, Run{Unix: time.Now().Unix(), Host: host, Results: results}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchlog:", err)
 		os.Exit(2)
 	}
 	fmt.Printf("benchlog: appended %d benchmark(s) to %s\n", len(results), *out)
+}
+
+// hostKnown reports whether the log already holds a run whose host class
+// is comparable to h. The CPU model is only known after running the
+// suite, so -ifnew decides after the (cheap, -benchtime 1x) run.
+func hostKnown(path string, h Host) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return false, fmt.Errorf("%s: %v", path, err)
+	}
+	for _, run := range f.Runs {
+		if run.Host.comparable(h) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // benchLine matches one "go test -bench" result line.

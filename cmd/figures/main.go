@@ -52,6 +52,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/harness"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/results/store"
 	"repro/internal/results/store/lease"
@@ -75,6 +76,9 @@ func main() {
 		distrib  = flag.Bool("distributed", false, "partition the job set with other -distributed processes sharing the same -cache store via lease files (no coordinator); requires a store")
 		owner    = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
 		ttl      = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+		metrics  = flag.String("metrics", "", "serve live /metrics and /trace on this HTTP address while the run executes (e.g. localhost:9090)")
+		metDump  = flag.String("metricsdump", "", "write the final metrics registry in text exposition format to this file")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -102,6 +106,24 @@ func main() {
 		sched: sched, rankpar: *rankpar,
 		trendAxis: *axis, trendCaches: trendCaches, trendClocks: trendClocks,
 		trendReps: *trReps,
+	}
+
+	// Observability must be enabled before the store, leases and worlds are
+	// opened: those layers capture their instruments at construction time.
+	// It is strictly write-only — enabling it changes no rendered byte.
+	var observer *obs.Observer
+	if *traceOut != "" || *metrics != "" || *metDump != "" {
+		observer = obs.New(obs.Options{})
+		obs.Enable(observer)
+		defer obs.Disable()
+	}
+	var msrv *obs.MetricsServer
+	if *metrics != "" {
+		var err error
+		if msrv, err = observer.Serve(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", msrv.Addr())
 	}
 
 	cfg := campaign.Config{
@@ -181,9 +203,39 @@ func main() {
 			err = cerr
 		}
 	}
+	// Observability outputs are flushed even when the run failed: a trace
+	// of a broken campaign is exactly what the post-mortem wants.
+	if *traceOut != "" {
+		if werr := writeTrace(observer, *traceOut); err == nil {
+			err = werr
+		}
+	}
+	if *metDump != "" {
+		if werr := observer.Metrics().DumpFile(*metDump); err == nil {
+			err = werr
+		}
+	}
+	if msrv != nil {
+		if cerr := msrv.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// writeTrace exports the observer's tracer as Chrome trace-event JSON.
+func writeTrace(o *obs.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Tracer().WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

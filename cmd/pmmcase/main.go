@@ -16,6 +16,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/harness"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/results/store"
 	"repro/internal/results/store/lease"
@@ -41,8 +42,20 @@ func main() {
 		distrib  = flag.Bool("distributed", false, "partition campaign jobs with other -distributed processes sharing the same -cache store via lease files (no coordinator)")
 		owner    = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
 		ttl      = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto); output bytes are unchanged")
+		metDump  = flag.String("metricsdump", "", "write the final metrics registry in text exposition format to this file")
 	)
 	flag.Parse()
+
+	// Observation is write-only: everything printed below is byte-identical
+	// with or without these flags. The observer must be live before any
+	// world, store or lease manager is constructed.
+	var observer *obs.Observer
+	if *traceOut != "" || *metDump != "" {
+		observer = obs.New(obs.Options{})
+		obs.Enable(observer)
+		defer obs.Disable()
+	}
 
 	// applySched maps -rankmode/-rankpar onto a world: the parallel
 	// schedulers change wall-clock time only, never results.
@@ -262,5 +275,25 @@ func main() {
 		// job was replayed from the shared store, so the report above is
 		// byte-identical to a single-process run.
 		fmt.Printf("\ndistributed: owner %s executed %d job(s)\n", mgr.Owner(), len(mgr.Executed()))
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = observer.Tracer().WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metDump != "" {
+		if err := observer.Metrics().DumpFile(*metDump); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

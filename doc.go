@@ -223,6 +223,61 @@
 // mode from the command line; hosts x campaign workers x parallel ranks
 // compose multiplicatively.
 //
+// # Observability
+//
+// The stack observes itself (internal/obs, re-exported here as Observer,
+// EnableObserver and friends): a span tracer and a metrics registry that
+// the campaign engine, the lease protocol, the checkpoint store and the
+// simulated MPI world record into. The design holds two invariants:
+//
+//   - Determinism: observation is write-only. Nothing recorded feeds
+//     back into scheduling, scenario keys, checkpoint hashes or seeds,
+//     so an observed run renders byte-identical output to an unobserved
+//     one (TestObservedRunByteIdentical pins this over the golden grid).
+//   - Nil-safety: every tracer and registry method no-ops on a nil
+//     receiver. Layers capture possibly-nil instrument handles when they
+//     are constructed, so disabled observability costs one nil check per
+//     event. Because capture happens at construction, EnableObserver
+//     must run before OpenStore / OpenLeaseManager / NewWorld /
+//     RunCampaign.
+//
+// The tracer keeps one track — a fixed-size ring buffer under its own
+// mutex, oldest events overwritten and the drop count exported — per
+// campaign worker ("campaign"/"worker NN": one span per job, annotated
+// run/cached/error, plus claim-deferral instants), per simulated rank
+// ("mpi"/"wW rank R": one span per MPI call, compute-gap spans between
+// calls, and speculation instants — speculate, conflict, rollback,
+// window stall), and per lease owner ("lease"/<owner>: hold spans,
+// claim/steal instants). Export produces Chrome trace-event JSON that
+// chrome://tracing and Perfetto load directly.
+//
+// The registry exposes counters, gauges and fixed-bucket histograms in
+// a Prometheus-flavoured text format. Metric names follow
+// <layer>_<what>_total for counters and <layer>_<what>_us for latency
+// histograms: campaign_jobs_settled_total, campaign_job_us,
+// store_puts_total, store_get_us, lease_claims_total, lease_steals_total,
+// lease_hold_us, mpi_token_grants_total, mpi_spec_conflicts_total,
+// mpi_spec_rollbacks_total and so on — World.SpecStats folds into the
+// mpi_spec_* family at the end of every optimistic run.
+//
+// From the command line, "cmd/figures -trace run.json" writes the trace,
+// "-metrics localhost:9090" serves live /metrics and /trace endpoints
+// while the campaign executes, and "-metricsdump metrics.txt" writes the
+// final registry for CI. "cmd/obsreport -store <shared dir> -trace
+// run.json" turns a finished distributed run's lease audit and trace
+// into per-owner and per-track throughput tables, and validates the
+// trace schema (-require campaign,lease,mpi) so CI fails when an
+// instrumentation layer goes silent. Non-serial sweep jobs additionally
+// emit their SpecStats as a "spec/<job key>" row shard, so conflict and
+// rollback rates land in the campaign's CSV output next to the
+// measurements they explain.
+//
+// Benchmark trajectory: cmd/benchlog records the benchmark suite into
+// the checked-in BENCH_*.json log and gates pull requests at +25% ns/op
+// against the newest baseline from a comparable host class. The gate
+// arms per host class via "benchlog -out BENCH_0006.json -ifnew" on
+// pushes to main (see cmd/benchlog's doc for the CI wiring).
+//
 // This package is the facade: it re-exports the experiment harness and the
 // campaign engine that regenerate every figure of the paper's evaluation.
 // The underlying packages live in internal/.

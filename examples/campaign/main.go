@@ -28,6 +28,13 @@
 // audit shows every scenario executed exactly once, and both workers
 // still produce identical trend reports because each replays the other's
 // checkpointed scenarios from the store.
+//
+// The whole run is self-observed: an Observer enabled up front records
+// every campaign job, lease claim and simulated MPI rank, and the example
+// ends by writing a Chrome trace (campaign-out/trace.json — load it in
+// chrome://tracing or Perfetto) and printing the per-owner throughput
+// report recovered from the lease audit. Observation is write-only, so
+// every byte above is identical to an unobserved run.
 package main
 
 import (
@@ -44,6 +51,13 @@ import (
 )
 
 func main() {
+	// Observe the whole run: the campaign engine, lease managers and
+	// simulated worlds capture their instruments at construction, so the
+	// observer goes in before anything else is opened.
+	observer := repro.NewObserver(repro.ObserverOptions{})
+	repro.EnableObserver(observer)
+	defer repro.DisableObserver()
+
 	// A reduced States sweep keeps the demo quick.
 	base := repro.DefaultSweep(repro.KernelStates)
 	base.Sizes = base.Sizes[:6]
@@ -221,6 +235,49 @@ func main() {
 	}
 	fmt.Printf("  audit: %d scenarios executed, %d duplicates; both workers' trend reports %s\n",
 		len(audit), dups, match)
+
+	// The observability dividend: the per-owner throughput table from the
+	// lease audit, the per-track summary from the trace, and the trace
+	// itself for chrome://tracing.
+	entries, err := repro.ReadLeaseAuditEntries(st2(dstore))
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs := make([]repro.OwnerExec, len(entries))
+	for i, e := range entries {
+		execs[i] = repro.OwnerExec{Owner: e.Owner, Key: e.Key, ElapsedUS: e.ElapsedUS, EndUnixNS: e.EndUnixNS}
+	}
+	fmt.Println("\nowner throughput (from the lease audit):")
+	if err := repro.WriteOwnerReport(os.Stdout, execs); err != nil {
+		log.Fatal(err)
+	}
+	tracePath := filepath.Join(outDir, "trace.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := observer.Tracer().WriteTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := repro.ParseTrace(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.ValidateTrace(tf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntrace tracks (campaign workers / MPI ranks / lease owners):")
+	if err := repro.WriteTrackReport(os.Stdout, tf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nChrome trace written to %s — open it in chrome://tracing or https://ui.perfetto.dev\n", tracePath)
 }
 
 // st2 reopens a store directory for the audit read.

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -277,10 +278,26 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 		ctx = WithSink(ctx, cfg.Sink)
 	}
 
+	// Observability (when globally enabled) records one trace track per
+	// worker plus lifecycle counters. It is strictly write-only: nothing
+	// here feeds back into scheduling, so observed and unobserved
+	// campaigns produce byte-identical results.
+	var tracks []*obs.Track
+	var met campMetrics
+	if o := obs.Active(); o != nil {
+		tracks = make([]*obs.Track, workers)
+		for w := range tracks {
+			tracks[w] = o.Tracer().Track("campaign", fmt.Sprintf("worker %02d", w))
+		}
+		met = newCampMetrics(o.Metrics())
+	}
+
 	run := &runState{
 		ctx:    ctx,
 		cancel: cancel,
 		cfg:    cfg,
+		tracks: tracks,
+		met:    met,
 		// Jobs are copied so settled entries can be dropped without
 		// mutating the caller's slice: a job's closures (and anything they
 		// capture, like a streaming job's emitted rows awaiting Encode)
@@ -309,10 +326,10 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			run.work()
-		}()
+			run.work(w)
+		}(w)
 	}
 	wg.Wait()
 	if dispatchDone != nil {
@@ -336,6 +353,31 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 	return results, errors.Join(errs...)
 }
 
+// campMetrics caches the campaign's registry instruments. The zero
+// value (all nil, observability disabled) is valid: every update is a
+// nil-safe no-op.
+type campMetrics struct {
+	settled  *obs.Counter
+	cached   *obs.Counter
+	failed   *obs.Counter
+	skipped  *obs.Counter
+	deferred *obs.Counter
+	polls    *obs.Counter
+	jobUS    *obs.Histogram
+}
+
+func newCampMetrics(reg *obs.Registry) campMetrics {
+	return campMetrics{
+		settled:  reg.Counter("campaign_jobs_settled_total"),
+		cached:   reg.Counter("campaign_jobs_cached_total"),
+		failed:   reg.Counter("campaign_jobs_failed_total"),
+		skipped:  reg.Counter("campaign_jobs_skipped_total"),
+		deferred: reg.Counter("campaign_jobs_deferred_total"),
+		polls:    reg.Counter("campaign_claim_polls_total"),
+		jobUS:    reg.Histogram("campaign_job_us", obs.LatencyBucketsUS),
+	}
+}
+
 // runState is the scheduler shared by a campaign's workers.
 type runState struct {
 	ctx    context.Context
@@ -344,6 +386,8 @@ type runState struct {
 	jobs   []Job
 	states []state
 	index  map[string]int // job key -> slice position
+	tracks []*obs.Track   // per-worker trace lanes; nil when unobserved
+	met    campMetrics
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -385,7 +429,11 @@ func (r *runState) dispatch(done chan struct{}) {
 // ready list drains with deferred jobs outstanding, one worker sleeps a
 // claim-backoff interval and requeues them, so the campaign keeps probing
 // until every job is won, stolen or observed completed in the store.
-func (r *runState) work() {
+func (r *runState) work(w int) {
+	var tr *obs.Track
+	if r.tracks != nil {
+		tr = r.tracks[w]
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
@@ -412,7 +460,7 @@ func (r *runState) work() {
 			deps[dep] = r.results[r.index[dep]].Value
 		}
 		r.mu.Unlock()
-		v, elapsed, cached, busy, err := r.execute(job, deps)
+		v, elapsed, cached, busy, err := r.execute(tr, job, deps)
 		r.mu.Lock()
 		if busy {
 			r.deferred = append(r.deferred, i)
@@ -434,6 +482,7 @@ func (r *runState) pollLocked() {
 	if backoff <= 0 {
 		backoff = 25 * time.Millisecond
 	}
+	r.met.polls.Inc()
 	r.mu.Unlock()
 	t := time.NewTimer(backoff)
 	select {
@@ -464,7 +513,26 @@ func (r *runState) pollLocked() {
 // the payload that process stored, and ClaimRun runs the job here under
 // the claim, releasing it after the checkpoint save so other processes
 // flip from busy to done without ever re-executing the job.
-func (r *runState) execute(job Job, deps map[string]any) (v any, elapsed time.Duration, cached, busy bool, err error) {
+func (r *runState) execute(tr *obs.Track, job Job, deps map[string]any) (v any, elapsed time.Duration, cached, busy bool, err error) {
+	sp := tr.Begin("job", job.Key)
+	defer func() {
+		if busy {
+			// A busy probe is a moment, not an occupancy: record it as an
+			// instant so the worker lane shows the retry pattern without a
+			// wall of zero-width spans.
+			tr.Instant("claim", job.Key, obs.Arg{Name: "state", Value: "busy"})
+			r.met.deferred.Inc()
+			return
+		}
+		status := "run"
+		switch {
+		case err != nil:
+			status = "error"
+		case cached:
+			status = "cached"
+		}
+		sp.End(obs.Arg{Name: "status", Value: status})
+	}()
 	start := time.Now()
 	checkpointed := job.Hash != "" && r.cfg.Store != nil
 	if checkpointed && job.Decode != nil {
@@ -535,7 +603,13 @@ func (r *runState) settleLocked(i int, v any, err error, elapsed time.Duration, 
 	r.states[i].settled = true
 	r.jobs[i] = Job{Key: r.jobs[i].Key} // release the job's closures
 	r.done++
+	r.met.settled.Inc()
+	if cached {
+		r.met.cached.Inc()
+	}
+	r.met.jobUS.Observe(float64(elapsed) / 1e3)
 	if err != nil {
+		r.met.failed.Inc()
 		if r.cfg.FailFast {
 			r.cancel()
 		}
@@ -567,6 +641,8 @@ func (r *runState) skipDependentsLocked(failed int) {
 		r.states[d].settled = true
 		r.results[d].Err = fmt.Errorf("%w: %q", ErrDependency, r.results[failed].Key)
 		r.done++
+		r.met.settled.Inc()
+		r.met.skipped.Inc()
 		if r.cfg.OnProgress != nil {
 			r.pending = append(r.pending, Event{
 				Key: r.results[d].Key, Err: r.results[d].Err,

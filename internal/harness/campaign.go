@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/components"
+	"repro/internal/mpi"
 	"repro/internal/results"
 )
 
@@ -42,26 +43,64 @@ func replayRows(ctx context.Context, key string, rows []results.Row) error {
 	return nil
 }
 
+// specKind salts a sweep job's checkpoint-hash kind when its world runs a
+// non-serial scheduler. Those jobs now emit (and must replay) a
+// speculation-telemetry row under SpecKey, so payloads stored before the
+// row existed re-run once; serial jobs keep their byte-stable hashes, and
+// the golden grid fingerprints with them.
+func specKind(kind string, w mpi.WorldConfig) string {
+	if w.Sched != mpi.Serial {
+		return kind + "+spec1"
+	}
+	return kind
+}
+
+// emitSpecRow streams the sweep's scheduler-telemetry row under the job's
+// spec key. Serial sweeps emit nothing: their telemetry is identically
+// zero and the row would perturb the byte-compared serial shard set.
+func emitSpecRow(ctx context.Context, jobKey string, sw *SweepResult) error {
+	if sw.Config.World.Sched == mpi.Serial {
+		return nil
+	}
+	return campaign.Emit(ctx, SpecKey(jobKey), sw.SpecRow())
+}
+
+// replaySpecRow is emitSpecRow for Decode hooks, wrapping failures with
+// campaign.ErrReplay like replayRows.
+func replaySpecRow(ctx context.Context, jobKey string, sw *SweepResult) error {
+	if err := emitSpecRow(ctx, jobKey, sw); err != nil {
+		return fmt.Errorf("%w: %w", campaign.ErrReplay, err)
+	}
+	return nil
+}
+
 // SweepJob wraps RunSweep as a checkpointable campaign job under the given
-// key, emitting the sweep's telemetry rows to the campaign sink.
+// key, emitting the sweep's telemetry rows to the campaign sink (plus, for
+// non-serial worlds, the speculation-telemetry row under SpecKey).
 func SweepJob(key string, cfg SweepConfig) campaign.Job {
 	return campaign.Job{
 		Key:    key,
-		Hash:   jobHash("sweep", cfg),
+		Hash:   jobHash(specKind("sweep", cfg.World), cfg),
 		Encode: encodeGob,
 		Decode: func(ctx context.Context, data []byte) (any, error) {
 			sw, err := decodeGob[*SweepResult](data)
 			if err != nil {
 				return nil, err
 			}
-			return sw, replayRows(ctx, key, sw.Rows())
+			if err := replayRows(ctx, key, sw.Rows()); err != nil {
+				return sw, err
+			}
+			return sw, replaySpecRow(ctx, key, sw)
 		},
 		Run: func(ctx context.Context, _ map[string]any) (any, error) {
 			sw, err := RunSweep(cfg)
 			if err != nil {
 				return nil, err
 			}
-			return sw, emitRows(ctx, key, sw.Rows())
+			if err := emitRows(ctx, key, sw.Rows()); err != nil {
+				return nil, err
+			}
+			return sw, emitSpecRow(ctx, key, sw)
 		},
 	}
 }
@@ -250,7 +289,7 @@ func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g c
 		sc := sc
 		jobs[i] = campaign.Job{
 			Key:    sc.Key,
-			Hash:   jobHash("gridsweep", base, sc),
+			Hash:   jobHash(specKind("gridsweep", sc.World), base, sc),
 			Encode: encodeGob,
 			Decode: func(ctx context.Context, data []byte) (any, error) {
 				gs, err := decodeGob[GridSweep](data)
@@ -260,7 +299,10 @@ func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g c
 				// Trust the current expansion for the coordinates; stored
 				// payloads may predate the Dimension redesign.
 				gs.Scenario = sc
-				return gs, replayRows(ctx, sc.Key, gs.Result.Rows())
+				if err := replayRows(ctx, sc.Key, gs.Result.Rows()); err != nil {
+					return gs, err
+				}
+				return gs, replaySpecRow(ctx, sc.Key, gs.Result)
 			},
 			Run: func(ctx context.Context, _ map[string]any) (any, error) {
 				cfg, err := scenarioSweepConfig(base, sc)
@@ -272,6 +314,9 @@ func RunSweepGrid(ctx context.Context, cc campaign.Config, base SweepConfig, g c
 					return nil, err
 				}
 				if err := emitRows(ctx, sc.Key, sw.Rows()); err != nil {
+					return nil, err
+				}
+				if err := emitSpecRow(ctx, sc.Key, sw); err != nil {
 					return nil, err
 				}
 				cm, err := FitModels(sw)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/campaign"
+	"repro/internal/mpi"
 	"repro/internal/results"
 )
 
@@ -25,25 +26,30 @@ type GridPoint struct {
 }
 
 // gridCheckpoint is a stream job's stored payload: the point plus the rows
-// it emitted, so a resumed campaign replays the exact same stream.
+// it emitted, so a resumed campaign replays the exact same stream. Spec
+// carries the sweep's scheduler telemetry so non-serial points replay
+// their spec row too (gob tolerates its absence in older payloads, but
+// those are invalidated by the "+spec1" hash salt anyway).
 type gridCheckpoint struct {
 	Point GridPoint
 	Rows  []results.Row
+	Spec  mpi.SpecStats
 }
 
 // StreamJob wraps one grid scenario as a bounded-memory campaign job: run
 // the sweep, emit its rows to the campaign sink, fit the model, return
 // only the GridPoint.
 func StreamJob(base SweepConfig, sc campaign.Scenario) campaign.Job {
-	// rows hands the emitted rows from Run to Encode (the campaign calls
-	// them sequentially on the same worker) without making them part of
-	// the job's value, which must stay small.
+	// rows and spec hand the emitted telemetry from Run to Encode (the
+	// campaign calls them sequentially on the same worker) without making
+	// them part of the job's value, which must stay small.
 	var rows []results.Row
+	var spec mpi.SpecStats
 	return campaign.Job{
 		Key:  sc.Key,
-		Hash: jobHash("gridpoint", base, sc),
+		Hash: jobHash(specKind("gridpoint", sc.World), base, sc),
 		Encode: func(v any) ([]byte, error) {
-			data, err := encodeGob(gridCheckpoint{Point: v.(GridPoint), Rows: rows})
+			data, err := encodeGob(gridCheckpoint{Point: v.(GridPoint), Rows: rows, Spec: spec})
 			rows = nil
 			return data, err
 		},
@@ -57,7 +63,11 @@ func StreamJob(base SweepConfig, sc campaign.Scenario) campaign.Job {
 			// point, and payloads written before the Dimension redesign
 			// carry scenarios without coordinates.
 			ck.Point.Scenario = sc
-			return ck.Point, replayRows(ctx, sc.Key, ck.Rows)
+			if err := replayRows(ctx, sc.Key, ck.Rows); err != nil {
+				return ck.Point, err
+			}
+			sw := &SweepResult{Config: SweepConfig{World: sc.World}, Spec: ck.Spec}
+			return ck.Point, replaySpecRow(ctx, sc.Key, sw)
 		},
 		Run: func(ctx context.Context, _ map[string]any) (any, error) {
 			cfg, err := scenarioSweepConfig(base, sc)
@@ -69,7 +79,11 @@ func StreamJob(base SweepConfig, sc campaign.Scenario) campaign.Job {
 				return nil, err
 			}
 			rows = sw.Rows()
+			spec = sw.Spec
 			if err := emitRows(ctx, sc.Key, rows); err != nil {
+				return nil, err
+			}
+			if err := emitSpecRow(ctx, sc.Key, sw); err != nil {
 				return nil, err
 			}
 			cm, err := FitModels(sw)

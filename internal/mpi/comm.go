@@ -49,7 +49,23 @@ func (c *Comm) checkPeer(peer int) {
 func (c *Comm) enter(name string) func() {
 	c.r.Prof.Start(name, "MPI")
 	c.r.Proc.Advance(c.world.cfg.Net.SoftwareUS)
-	return func() { c.r.Prof.Stop(name) }
+	trk := c.world.rankTrack(c.r.rank)
+	if trk == nil {
+		return func() { c.r.Prof.Stop(name) }
+	}
+	// Observed: the gap since the previous MPI return is this rank's
+	// compute segment, and the entry itself becomes a span. lastOpEnd is
+	// rank-local (each rank's entry points run on its own goroutine).
+	now := trk.Now()
+	if last := c.r.lastOpEnd; last != 0 && now > last {
+		trk.Span("compute", "compute", last, now-last)
+	}
+	sp := trk.Begin("mpi", name)
+	return func() {
+		c.r.Prof.Stop(name)
+		sp.End()
+		c.r.lastOpEnd = trk.Now()
+	}
 }
 
 // bytesOf returns the payload size of a float64 message in bytes.

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tau"
 )
@@ -328,6 +329,7 @@ func (o *optState) windowWaitLocked(rank int) {
 		return
 	}
 	o.stats.WindowStalls++
+	o.w.rankTrack(rank).Instant("spec", "window stall")
 	o.w.optParkLocked(rank, blockDesc{op: "speculation window"}, func() bool {
 		return len(o.streams[rank])-o.pos[rank] < o.window
 	})
@@ -630,6 +632,7 @@ func (o *optState) processRecvLocked(ev *specEvent) bool {
 		default:
 			ev.conflicted = true
 			o.stats.Conflicts++
+			o.w.rankTrack(ev.rank).Instant("spec", "conflict", obs.Arg{Name: "op", Value: ev.op})
 			s.truth = m
 		}
 		o.pubRemoveLocked(s.key, m)
@@ -700,6 +703,7 @@ func (o *optState) processWaitsomeLocked(ev *specEvent) bool {
 	}
 	if conflict {
 		o.stats.Conflicts++
+		o.w.rankTrack(ev.rank).Instant("spec", "conflict", obs.Arg{Name: "op", Value: ev.op})
 		ev.state = esConflict
 	} else {
 		ev.state = esResolved
@@ -762,6 +766,7 @@ func (c *Comm) optCompleteRecvs(op string, reqs []*Request) {
 	if spec {
 		undo = c.r.specCheckpointLocked(sreqs)
 		o.stats.SpeculatedOps++
+		w.rankTrack(rank).Instant("spec", "speculate", obs.Arg{Name: "op", Value: op})
 	}
 
 	for i := range ev.slots {
@@ -802,6 +807,7 @@ func (c *Comm) optCompleteRecvs(op string, reqs []*Request) {
 	c.r.rollbackLocked(undo)
 	o.stats.Rollbacks++
 	o.stats.ReexecutedUS += reexec
+	w.rankTrack(rank).Instant("spec", "rollback", obs.Arg{Name: "reexec_us", Value: reexec})
 	for i := range ev.slots {
 		s := &ev.slots[i]
 		s.truth.taken = true
@@ -870,6 +876,7 @@ func (c *Comm) optWaitsome(reqs []*Request) []int {
 	if !fast {
 		undo = c.r.specCheckpointLocked(sreqs)
 		o.stats.SpeculatedOps++
+		w.rankTrack(rank).Instant("spec", "speculate", obs.Arg{Name: "op", Value: "MPI_Waitsome()"})
 	}
 	for i := range ev.slots {
 		s := &ev.slots[i]
@@ -903,6 +910,7 @@ func (c *Comm) optWaitsome(reqs []*Request) []int {
 	c.r.rollbackLocked(undo)
 	o.stats.Rollbacks++
 	o.stats.ReexecutedUS += reexec
+	w.rankTrack(rank).Instant("spec", "rollback", obs.Arg{Name: "reexec_us", Value: reexec})
 	out = out[:0]
 	for i := range ev.slots {
 		s := &ev.slots[i]

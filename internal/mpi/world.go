@@ -38,9 +38,11 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tau"
 )
@@ -375,6 +377,42 @@ type World struct {
 	rng        *rand.Rand
 
 	panics []error
+
+	// Observability (nil/zero when the global observer is disabled at
+	// NewWorld). trk holds one trace lane per rank; met the cached
+	// registry instruments. Recording is strictly write-only — nothing
+	// here is ever read back into scheduling decisions, so observed and
+	// unobserved worlds produce bit-identical results.
+	trk []*obs.Track
+	met worldMetrics
+}
+
+// worldMetrics caches the registry instruments a world records into.
+// The zero value (all nil) makes every update a no-op.
+type worldMetrics struct {
+	worlds       *obs.Counter
+	grants       *obs.Counter
+	specPub      *obs.Counter
+	specPipe     *obs.Counter
+	specOps      *obs.Counter
+	specCommit   *obs.Counter
+	conflicts    *obs.Counter
+	rollbacks    *obs.Counter
+	windowStalls *obs.Counter
+	reexecUS     *obs.Histogram
+}
+
+// worldSeq numbers observed worlds so their trace tracks stay distinct
+// when one process runs many worlds. Only advanced when an observer is
+// active; it never influences simulation state.
+var worldSeq atomic.Uint64
+
+// rankTrack returns rank r's trace lane, or nil when unobserved.
+func (w *World) rankTrack(r int) *obs.Track {
+	if w.trk == nil {
+		return nil
+	}
+	return w.trk[r]
 }
 
 // Rank is the execution context handed to the SCMD body for one rank: its
@@ -386,6 +424,12 @@ type Rank struct {
 	// pending buffers sends during parallel run-ahead (owner-rank access
 	// only; flushed under the world lock at the rank's commit turns).
 	pending []pendingSend
+
+	// lastOpEnd is the tracer clock when this rank's previous MPI entry
+	// point returned (owner-rank access only; meaningful only when the
+	// world is observed). The gap to the next entry is the rank's compute
+	// segment, recorded as a span.
+	lastOpEnd int64
 
 	// Comm is the rank's MPI_COMM_WORLD analog.
 	Comm *Comm
@@ -453,6 +497,26 @@ func NewWorld(cfg WorldConfig) *World {
 	}
 	if w.opt {
 		w.o = newOptState(w)
+	}
+	if o := obs.Active(); o != nil {
+		id := worldSeq.Add(1)
+		w.trk = make([]*obs.Track, cfg.Procs)
+		for i := range w.trk {
+			w.trk[i] = o.Tracer().Track("mpi", fmt.Sprintf("w%d rank %d", id, i))
+		}
+		reg := o.Metrics()
+		w.met = worldMetrics{
+			worlds:       reg.Counter("mpi_worlds_total"),
+			grants:       reg.Counter("mpi_token_grants_total"),
+			specPub:      reg.Counter("mpi_spec_published_sends_total"),
+			specPipe:     reg.Counter("mpi_spec_pipelined_ops_total"),
+			specOps:      reg.Counter("mpi_spec_speculated_ops_total"),
+			specCommit:   reg.Counter("mpi_spec_committed_ops_total"),
+			conflicts:    reg.Counter("mpi_spec_conflicts_total"),
+			rollbacks:    reg.Counter("mpi_spec_rollbacks_total"),
+			windowStalls: reg.Counter("mpi_spec_window_stalls_total"),
+			reexecUS:     reg.Histogram("mpi_spec_reexecuted_us", obs.LatencyBucketsUS),
+		}
 	}
 	return w
 }
@@ -578,6 +642,22 @@ func (w *World) Run(body func(*Rank)) error {
 			}
 		}
 		w.mu.Unlock()
+	}
+	if w.met.worlds != nil {
+		// Fold the run's speculation telemetry into the registry, so
+		// conflict/rollback rates are visible without a deadlock dump.
+		w.met.worlds.Inc()
+		if w.opt {
+			s := w.SpecStats()
+			w.met.specPub.Add(s.PublishedSends)
+			w.met.specPipe.Add(s.PipelinedOps)
+			w.met.specOps.Add(s.SpeculatedOps)
+			w.met.specCommit.Add(s.CommittedOps)
+			w.met.conflicts.Add(s.Conflicts)
+			w.met.rollbacks.Add(s.Rollbacks)
+			w.met.windowStalls.Add(s.WindowStalls)
+			w.met.reexecUS.Observe(s.ReexecutedUS)
+		}
 	}
 	for _, err := range w.panics {
 		if err != nil {
@@ -750,6 +830,9 @@ func (w *World) advanceLocked() {
 		}
 	}
 	w.current = next
+	if next != -1 {
+		w.met.grants.Inc()
+	}
 	if next == -1 && !allDone {
 		// Every live rank is blocked: deadlock. Abort the world so the
 		// parked goroutines panic with diagnostics instead of hanging.

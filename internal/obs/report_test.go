@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOwnerStats(t *testing.T) {
+	execs := []OwnerExec{
+		{Owner: "w1", Key: "a", ElapsedUS: 1000, EndUnixNS: 2_000_000},
+		{Owner: "w1", Key: "b", ElapsedUS: 2000, EndUnixNS: 5_000_000},
+		{Owner: "w2", Key: "c", ElapsedUS: 500, EndUnixNS: 3_000_000},
+	}
+	stats := OwnerStats(execs)
+	if len(stats) != 2 {
+		t.Fatalf("got %d owners, want 2", len(stats))
+	}
+	w1 := stats[0]
+	if w1.Owner != "w1" || w1.Jobs != 2 || w1.BusyUS != 3000 {
+		t.Errorf("w1 = %+v", w1)
+	}
+	// w1 span: first start = 2ms-1ms = 1ms; last end = 5ms -> 4000 us.
+	if w1.SpanUS != 4000 {
+		t.Errorf("w1 span = %g us, want 4000", w1.SpanUS)
+	}
+	if w1.PerSec != 2/(4000/1e6) {
+		t.Errorf("w1 jobs/s = %g", w1.PerSec)
+	}
+	if w1.SharePC < 66 || w1.SharePC > 67 {
+		t.Errorf("w1 share = %g%%", w1.SharePC)
+	}
+	if stats[1].Owner != "w2" || stats[1].Jobs != 1 {
+		t.Errorf("w2 = %+v", stats[1])
+	}
+}
+
+// TestOwnerStatsLegacyLines: audit lines from before the elapsed/end
+// fields parse to zero-valued timings; the report must not divide by
+// the unknown span.
+func TestOwnerStatsLegacy(t *testing.T) {
+	stats := OwnerStats([]OwnerExec{{Owner: "w1", Key: "a"}, {Owner: "w1", Key: "b"}})
+	if len(stats) != 1 {
+		t.Fatal("want one owner")
+	}
+	st := stats[0]
+	if st.Jobs != 2 || st.SpanUS != 0 || st.PerSec != 0 {
+		t.Errorf("legacy stats = %+v", st)
+	}
+	if st.SharePC != 100 {
+		t.Errorf("share = %g, want 100", st.SharePC)
+	}
+}
+
+func TestWriteOwnerReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOwnerReport(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no executions") {
+		t.Errorf("empty report = %q", buf.String())
+	}
+	buf.Reset()
+	execs := []OwnerExec{{Owner: "w1", Key: "a", ElapsedUS: 1500, EndUnixNS: 2_000_000}}
+	if err := WriteOwnerReport(&buf, execs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"owner", "jobs/s", "w1", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceStatsAndTrackReport(t *testing.T) {
+	tr := NewTracerWithClock(16, fakeClock(1000))
+	w := tr.Track("campaign", "worker 00")
+	w.Span("job", "a", 0, 4000)
+	w.Span("job", "b", 5000, 3000)
+	w.Instant("claim", "c")
+	tf := tr.Export()
+
+	stats := TraceStats(tf)
+	if len(stats) != 1 {
+		t.Fatalf("got %d tracks, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Process != "campaign" || st.Track != "worker 00" {
+		t.Errorf("track identity = %+v", st)
+	}
+	if st.Spans != 2 || st.Instants != 1 {
+		t.Errorf("counts = %+v", st)
+	}
+	if st.BusyUS != 7 { // 4 us + 3 us
+		t.Errorf("busy = %g us, want 7", st.BusyUS)
+	}
+	if st.FirstUS != 0 || st.LastUS != 8 { // span b ends at 5+3 us
+		t.Errorf("window = [%g, %g], want [0, 8]", st.FirstUS, st.LastUS)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrackReport(&buf, tf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "worker 00") {
+		t.Errorf("track report = %q", buf.String())
+	}
+}

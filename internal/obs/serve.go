@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// MetricsServer is a live introspection endpoint started by Serve.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. "127.0.0.1:9100", or
+// ":0" for an ephemeral port) exposing the observer live:
+//
+//	/metrics  text exposition of the registry
+//	/trace    Chrome trace-event JSON of everything recorded so far
+//
+// The server runs until Close; it never blocks the observed program.
+func (o *Observer) Serve(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = o.Metrics().WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Tracer().WriteTrace(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("obs endpoints:\n  /metrics  registry text exposition\n  /trace    Chrome trace-event JSON\n"))
+	})
+	s := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/results/store"
 )
 
@@ -94,6 +95,9 @@ type Manager struct {
 	stop chan struct{}
 	done chan struct{}
 
+	trk *obs.Track // this owner's trace lane; nil when unobserved
+	met leaseMetrics
+
 	mu        sync.Mutex
 	held      map[string]heldLease   // addr -> claim, for heartbeat renewal
 	addrLocks map[string]*sync.Mutex // addr -> lease-file I/O serialization
@@ -102,9 +106,20 @@ type Manager struct {
 	closed    bool
 }
 
+// leaseMetrics caches the registry instruments for the claim protocol.
+// All-nil (observability disabled at Open) makes every update a no-op.
+type leaseMetrics struct {
+	claims, busy, run, done *obs.Counter
+	steals, beats, lost     *obs.Counter
+	releases                *obs.Counter
+	holdUS                  *obs.Histogram
+}
+
 // heldLease is one claim awaiting release.
 type heldLease struct {
 	key, hash string
+	since     time.Time // claim grant time, for audit elapsed
+	traceNS   int64     // tracer clock at grant; meaningful only when trk != nil
 }
 
 // record is a parsed lease file.
@@ -148,6 +163,21 @@ func Open(st *store.Store, owner string, opts Options) (*Manager, error) {
 		st: st, dir: dir, owner: owner, opts: opts,
 		stop: make(chan struct{}), done: make(chan struct{}),
 		held: make(map[string]heldLease), addrLocks: make(map[string]*sync.Mutex),
+	}
+	if o := obs.Active(); o != nil {
+		m.trk = o.Tracer().Track("lease", owner)
+		reg := o.Metrics()
+		m.met = leaseMetrics{
+			claims:   reg.Counter("lease_claims_total"),
+			busy:     reg.Counter("lease_claim_busy_total"),
+			run:      reg.Counter("lease_claim_run_total"),
+			done:     reg.Counter("lease_claim_done_total"),
+			steals:   reg.Counter("lease_steals_total"),
+			beats:    reg.Counter("lease_heartbeats_total"),
+			lost:     reg.Counter("lease_lost_total"),
+			releases: reg.Counter("lease_releases_total"),
+			holdUS:   reg.Histogram("lease_hold_us", obs.LatencyBucketsUS),
+		}
 	}
 	go m.heartbeat()
 	return m, nil
@@ -212,6 +242,23 @@ func (m *Manager) leasePath(addr string) string {
 // worker holds it. Stale leases — heartbeat older than TTL — are stolen
 // en passant: renamed aside (one winner) and the vacant slot re-raced.
 func (m *Manager) TryClaim(key, hash string) (campaign.ClaimState, error) {
+	state, err := m.tryClaim(key, hash)
+	m.met.claims.Inc()
+	switch state {
+	case campaign.ClaimBusy:
+		m.met.busy.Inc()
+		m.trk.Instant("claim", key, obs.Arg{Name: "state", Value: "busy"})
+	case campaign.ClaimDone:
+		m.met.done.Inc()
+		m.trk.Instant("claim", key, obs.Arg{Name: "state", Value: "done"})
+	case campaign.ClaimRun:
+		m.met.run.Inc() // the hold span on this owner's track covers run→release
+	}
+	return state, err
+}
+
+// tryClaim is TryClaim's protocol body, free of observability concerns.
+func (m *Manager) tryClaim(key, hash string) (campaign.ClaimState, error) {
 	addr := m.st.Addr(key, hash)
 	path := m.leasePath(addr)
 	for attempt := 0; attempt < claimAttempts; attempt++ {
@@ -235,7 +282,11 @@ func (m *Manager) TryClaim(key, hash string) (campaign.ClaimState, error) {
 			// vacant slot's exclusive create like everyone else. A rename
 			// losing to another reaper (ErrNotExist) joins that race too.
 			reap := filepath.Join(m.dir, fmt.Sprintf(".reap-%s-%d", m.owner, m.seq.Add(1)))
-			if err := os.Rename(path, reap); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			switch err := os.Rename(path, reap); {
+			case err == nil:
+				m.met.steals.Inc()
+				m.trk.Instant("steal", key, obs.Arg{Name: "from", Value: rec.Owner})
+			case !errors.Is(err, fs.ErrNotExist):
 				return campaign.ClaimBusy, fmt.Errorf("lease: steal %q: %w", key, err)
 			}
 			os.Remove(reap)
@@ -266,7 +317,7 @@ func (m *Manager) TryClaim(key, hash string) (campaign.ClaimState, error) {
 			return campaign.ClaimDone, nil
 		}
 		m.mu.Lock()
-		m.held[addr] = heldLease{key: key, hash: hash}
+		m.held[addr] = heldLease{key: key, hash: hash, since: time.Now(), traceNS: m.trk.Now()}
 		m.mu.Unlock()
 		return campaign.ClaimRun, nil
 	}
@@ -320,11 +371,21 @@ func (m *Manager) Release(key, hash string, completed bool) error {
 	al.Lock()
 	defer al.Unlock()
 	m.mu.Lock()
-	_, washeld := m.held[addr]
+	h, washeld := m.held[addr]
 	delete(m.held, addr)
 	m.mu.Unlock()
+	m.met.releases.Inc()
+	var elapsed time.Duration
+	if washeld {
+		elapsed = time.Since(h.since)
+		m.met.holdUS.Observe(float64(elapsed) / 1e3)
+		if m.trk != nil {
+			m.trk.Span("hold", key, h.traceNS, m.trk.Now()-h.traceNS,
+				obs.Arg{Name: "completed", Value: completed})
+		}
+	}
 	if completed {
-		if err := m.appendAudit(key); err != nil {
+		if err := m.appendAudit(key, elapsed, time.Now()); err != nil {
 			return err
 		}
 		m.mu.Lock()
@@ -370,6 +431,7 @@ func (m *Manager) countLost(washeld bool) {
 	if !washeld {
 		return
 	}
+	m.met.lost.Inc()
 	m.mu.Lock()
 	m.lost++
 	m.mu.Unlock()
@@ -435,6 +497,7 @@ func (m *Manager) renewOne(addr string) {
 		if _, ok := m.held[addr]; ok {
 			delete(m.held, addr)
 			m.lost++
+			m.met.lost.Inc()
 		}
 		m.mu.Unlock()
 		return
@@ -455,19 +518,25 @@ func (m *Manager) renewOne(addr string) {
 	}
 	if werr != nil || os.Rename(tmpName, path) != nil {
 		os.Remove(tmpName)
+		return
 	}
+	m.met.beats.Inc()
 }
 
-// appendAudit records one completed execution in this owner's audit log.
-// O_APPEND writes of one short line are atomic, so concurrent releases
-// need no extra lock here.
-func (m *Manager) appendAudit(key string) error {
+// appendAudit records one completed execution in this owner's audit log
+// as "key<TAB>elapsed_us<TAB>end_unix_ns". The key is always the first
+// tab-separated field, so field-unaware consumers (`cut -f1`, older
+// parsers) keep working; the trailing fields feed the per-owner
+// throughput report. O_APPEND writes of one short line are atomic, so
+// concurrent releases need no extra lock here.
+func (m *Manager) appendAudit(key string, elapsed time.Duration, end time.Time) error {
 	f, err := os.OpenFile(filepath.Join(m.dir, "audit-"+m.owner+".log"),
 		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("lease: audit: %w", err)
 	}
-	_, werr := f.WriteString(key + "\n")
+	line := fmt.Sprintf("%s\t%.3f\t%d\n", key, float64(elapsed)/1e3, end.UnixNano())
+	_, werr := f.WriteString(line)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
@@ -524,21 +593,30 @@ func readLease(path string) (record, error) {
 	return r, nil
 }
 
-// ReadAudit collects every owner's audit log under the store's lease
-// directory into a map from job key to the owners that completed it, each
-// owner appearing once per completed execution. A campaign with no
-// duplicated executions has exactly one owner entry per key; tests and
-// the CI distributed job assert exactly that.
-func ReadAudit(st *store.Store) (map[string][]string, error) {
+// AuditEntry is one completed execution recovered from an owner's audit
+// log. ElapsedUS and EndUnixNS are zero for lines written before the
+// audit recorded timings.
+type AuditEntry struct {
+	Owner     string
+	Key       string
+	ElapsedUS float64
+	EndUnixNS int64
+}
+
+// ReadAuditEntries collects every owner's audit log under the store's
+// lease directory into typed entries, owners in sorted order and lines
+// in file order within each owner. Lines are parsed tolerantly: the
+// first tab-separated field is the job key, the optional trailing
+// fields are the execution's elapsed microseconds and end timestamp.
+func ReadAuditEntries(st *store.Store) ([]AuditEntry, error) {
 	dir := filepath.Join(st.Dir(), dirName)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return map[string][]string{}, nil
+			return nil, nil
 		}
 		return nil, fmt.Errorf("lease: audit: %w", err)
 	}
-	out := map[string][]string{}
 	var names []string
 	for _, e := range entries {
 		n := e.Name()
@@ -547,17 +625,44 @@ func ReadAudit(st *store.Store) (map[string][]string, error) {
 		}
 	}
 	sort.Strings(names)
+	var out []AuditEntry
 	for _, n := range names {
 		owner := strings.TrimSuffix(strings.TrimPrefix(n, "audit-"), ".log")
 		data, err := os.ReadFile(filepath.Join(dir, n))
 		if err != nil {
 			return nil, fmt.Errorf("lease: audit: %w", err)
 		}
-		for _, key := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
-			if key != "" {
-				out[key] = append(out[key], owner)
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if line == "" {
+				continue
 			}
+			fields := strings.Split(line, "\t")
+			ae := AuditEntry{Owner: owner, Key: fields[0]}
+			if len(fields) > 1 {
+				ae.ElapsedUS, _ = strconv.ParseFloat(fields[1], 64)
+			}
+			if len(fields) > 2 {
+				ae.EndUnixNS, _ = strconv.ParseInt(fields[2], 10, 64)
+			}
+			out = append(out, ae)
 		}
+	}
+	return out, nil
+}
+
+// ReadAudit collects every owner's audit log under the store's lease
+// directory into a map from job key to the owners that completed it, each
+// owner appearing once per completed execution. A campaign with no
+// duplicated executions has exactly one owner entry per key; tests and
+// the CI distributed job assert exactly that.
+func ReadAudit(st *store.Store) (map[string][]string, error) {
+	entries, err := ReadAuditEntries(st)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]string{}
+	for _, e := range entries {
+		out[e.Key] = append(out[e.Key], e.Owner)
 	}
 	return out, nil
 }

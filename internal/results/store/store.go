@@ -36,6 +36,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Store is a filesystem-backed checkpoint store. The zero value is not
@@ -43,9 +46,20 @@ import (
 // Get reads are plain file reads and Put writes are atomic renames.
 type Store struct {
 	dir string
+	met storeMetrics
+}
+
+// storeMetrics caches the registry instruments for the store's I/O.
+// All-nil (observability disabled at Open) makes every update a no-op.
+type storeMetrics struct {
+	gets, getMisses, puts *obs.Counter
+	getBytes, putBytes    *obs.Counter
+	getUS, putUS          *obs.Histogram
 }
 
 // Open creates the cache directory (if needed) and returns the store.
+// If the process-global observer (internal/obs) is enabled at this
+// point, the store records put/get counts, bytes and latencies into it.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -53,7 +67,20 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	if o := obs.Active(); o != nil {
+		reg := o.Metrics()
+		s.met = storeMetrics{
+			gets:      reg.Counter("store_gets_total"),
+			getMisses: reg.Counter("store_get_misses_total"),
+			puts:      reg.Counter("store_puts_total"),
+			getBytes:  reg.Counter("store_get_bytes_total"),
+			putBytes:  reg.Counter("store_put_bytes_total"),
+			getUS:     reg.Histogram("store_get_us", obs.LatencyBucketsUS),
+			putUS:     reg.Histogram("store_put_us", obs.LatencyBucketsUS),
+		}
+	}
+	return s, nil
 }
 
 // Dir returns the store's directory.
@@ -90,7 +117,19 @@ func (s *Store) Has(key, hash string) (bool, error) {
 // Get returns the payload stored for (key, hash), with ok reporting
 // whether an entry exists. A missing entry is not an error.
 func (s *Store) Get(key, hash string) ([]byte, bool, error) {
+	var start time.Time
+	if s.met.gets != nil {
+		start = time.Now()
+	}
 	data, err := os.ReadFile(s.path(key, hash))
+	if s.met.gets != nil {
+		s.met.gets.Inc()
+		s.met.getBytes.Add(uint64(len(data)))
+		s.met.getUS.Observe(float64(time.Since(start)) / 1e3)
+		if err != nil && os.IsNotExist(err) {
+			s.met.getMisses.Inc()
+		}
+	}
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, false, nil
@@ -104,6 +143,14 @@ func (s *Store) Get(key, hash string) ([]byte, bool, error) {
 // The write is atomic: concurrent readers see either the old entry or the
 // new one, never a prefix.
 func (s *Store) Put(key, hash string, payload []byte) error {
+	if s.met.puts != nil {
+		start := time.Now()
+		defer func() {
+			s.met.puts.Inc()
+			s.met.putBytes.Add(uint64(len(payload)))
+			s.met.putUS.Observe(float64(time.Since(start)) / 1e3)
+		}()
+	}
 	tmp, err := os.CreateTemp(s.dir, ".put-*")
 	if err != nil {
 		return fmt.Errorf("store: put %q: %w", key, err)
