@@ -1,0 +1,6 @@
+package lint
+
+// All returns the repolint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Gostringpin, Lockio, Mapiter, Obscapture, Wallclock}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Gostringpin guards the %#v-pinned structs (mpi.WorldConfig,
+// campaign.Scenario, and anything else that grows a GoString shim):
+// checkpoint hashes are SHA-256 digests of a value's %#v rendering, and
+// the shims reproduce the legacy rendering byte-for-byte so stored
+// payloads stay addressable. Adding a struct field without teaching the
+// shim about it would silently change every checkpoint hash the moment
+// the field is set — a golden-TSV surprise. The analyzer makes it a
+// build-time error instead: every field of a struct with a GoString
+// method must be read somewhere inside that method.
+var Gostringpin = &Analyzer{
+	Name: "gostringpin",
+	Doc:  "checks every field of a GoString-shimmed struct is handled by the shim",
+	Run:  runGostringpin,
+}
+
+func runGostringpin(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "GoString" || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			st := receiverStruct(p, fd)
+			if st == nil {
+				continue
+			}
+			handled := fieldsRead(p, fd.Body)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if !handled[field] {
+					p.Reportf(fd.Name.Pos(), "GoString does not handle field %q; %%#v-derived checkpoint hashes would silently change when it is set — extend the shim (render the field, or fold it into the legacy mirror)", field.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverStruct resolves a method's receiver to its struct type, or
+// nil when the receiver is not a (pointer to a) struct.
+func receiverStruct(p *Pass, fd *ast.FuncDecl) *types.Struct {
+	field := fd.Recv.List[0]
+	tv, ok := p.Info.Types[field.Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// fieldsRead collects every struct field object selected anywhere in
+// the body, nested function literals included.
+func fieldsRead(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture copies internal/lint/testdata/src/<name> into a throwaway
+// module, loads it, runs exactly one analyzer plus the suppression
+// layer, and checks the unsuppressed diagnostics against the fixtures'
+// `// want "regexp"` comments — the analysistest contract, stdlib-only.
+// Suppressed diagnostics must not match a want (that is how fixtures
+// prove //repolint:allow works) but are returned for extra assertions.
+func runFixture(t *testing.T, a *Analyzer, name string) []Diagnostic {
+	t.Helper()
+	src := filepath.Join("testdata", "src", name)
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyTree(src, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	wants := collectWants(t, dir)
+	matched := map[*want]bool{}
+	for _, d := range Unsuppressed(diags) {
+		rel, _ := filepath.Rel(dir, d.Path)
+		w := findWant(wants, rel, d.Line)
+		if w == nil {
+			t.Errorf("unexpected diagnostic %s:%d: [%s] %s", rel, d.Line, d.Analyzer, d.Message)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", rel, d.Line, d.Message, w.re)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// want is one `// want "re"` expectation parsed from a fixture.
+type want struct {
+	file string // relative to the fixture module root
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses every fixture file's trailing want comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var out []*want
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rel, _ := filepath.Rel(dir, path)
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, rerr := regexp.Compile(m[1])
+				if rerr != nil {
+					return fmt.Errorf("%s: bad want %q: %w", path, m[1], rerr)
+				}
+				out = append(out, &want{file: rel, line: fset.Position(c.Pos()).Line, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func findWant(wants []*want, file string, line int) *want {
+	for _, w := range wants {
+		if w.file == file && w.line == line {
+			return w
+		}
+	}
+	return nil
+}
+
+// copyTree mirrors src into dst (regular files only).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// countSuppressed tallies diagnostics an allow directive absorbed.
+func countSuppressed(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lockio flags file/network I/O and blocking channel operations
+// performed while a mutex acquired in the same function is still held —
+// the starvation shape the distributed-lease review found: slow lease
+// file I/O under the manager mutex delayed heartbeat renewal until live
+// leases went stale and were stolen. The check is intraprocedural and
+// source-ordered (an Unlock textually before the operation clears the
+// hold; a deferred Unlock holds to the end), which matches how the
+// store/lease code is written. Locks that exist precisely to serialize
+// one slot's I/O carry //repolint:allow lockio annotations explaining
+// the design.
+var Lockio = &Analyzer{
+	Name: "lockio",
+	Doc:  "flags file/network I/O and blocking channel ops while a locally acquired mutex is held",
+	Run:  runLockio,
+}
+
+// pureOSFuncs are os-package functions that read process state without
+// touching the filesystem or network; they are safe under a lock.
+var pureOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true, "ExpandEnv": true,
+	"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true, "Getgid": true, "Getegid": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+	"IsPathSeparator": true, "TempDir": true, "UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+	"NewSyscallError": true, "Exit": true,
+}
+
+// lockMethods maps sync mutex method names to +1 (acquire) / -1
+// (release), keyed by the method's types.Func full name.
+var lockMethods = map[string]int{
+	"(*sync.Mutex).Lock":      +1,
+	"(*sync.Mutex).TryLock":   +1,
+	"(*sync.Mutex).Unlock":    -1,
+	"(*sync.RWMutex).Lock":    +1,
+	"(*sync.RWMutex).RLock":   +1,
+	"(*sync.RWMutex).Unlock":  -1,
+	"(*sync.RWMutex).RUnlock": -1,
+}
+
+func runLockio(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockIO(p, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkLockIO(p, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockEvent classifies a call as a lock acquire/release on a rendered
+// receiver expression ("m.mu"), or returns delta 0.
+func lockEvent(p *Pass, call *ast.CallExpr) (recv string, delta int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", 0
+	}
+	d, ok := lockMethods[fn.FullName()]
+	if !ok {
+		return "", 0
+	}
+	return types.ExprString(sel.X), d
+}
+
+// ioOperation classifies a call as file or network I/O, or returns "".
+func ioOperation(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if sig.Recv() != nil {
+		// Methods on *os.File (and the net Conn/Listener families) are
+		// I/O; other methods from those packages (error types, address
+		// stringers) are not.
+		recv := sig.Recv().Type()
+		if ptr, okp := recv.(*types.Pointer); okp {
+			recv = ptr.Elem()
+		}
+		named, okn := recv.(*types.Named)
+		if !okn {
+			return ""
+		}
+		switch {
+		case path == "os" && named.Obj().Name() == "File":
+			if fn.Name() == "Name" || fn.Name() == "Fd" {
+				return "" // accessors on the handle, no filesystem round trip
+			}
+			return "os.File." + fn.Name()
+		case path == "net" && (named.Obj().Name() == "TCPConn" || named.Obj().Name() == "UDPConn" ||
+			named.Obj().Name() == "UnixConn" || named.Obj().Name() == "TCPListener"):
+			return "net." + named.Obj().Name() + "." + fn.Name()
+		}
+		return ""
+	}
+	switch path {
+	case "os":
+		if !pureOSFuncs[fn.Name()] {
+			return "os." + fn.Name()
+		}
+	case "net":
+		return "net." + fn.Name()
+	case "os/exec", "io/ioutil":
+		return path + "." + fn.Name()
+	}
+	return ""
+}
+
+// checkLockIO walks one function body in source order, tracking which
+// locally acquired mutexes are held, and reports I/O and blocking
+// channel operations performed while any are. Nested function literals
+// are skipped (they run on their own goroutine or at defer time, with
+// their own analysis); defer statements' calls run after the body, so
+// only a deferred Unlock is interpreted (as "held to the end").
+func checkLockIO(p *Pass, body *ast.BlockStmt) {
+	held := map[string]token.Pos{}
+	heldCount := 0
+	// skipSelects collects channel ops inside a select that has a
+	// default clause: those are non-blocking by construction.
+	nonBlocking := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, clause := range sel.Body.List {
+			if cc, okc := clause.(*ast.CommClause); okc && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			ast.Inspect(sel, func(inner ast.Node) bool {
+				switch inner.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					nonBlocking[inner] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, what string) {
+		if heldCount == 0 {
+			return
+		}
+		// Pick the lexically smallest held lock so the message is stable.
+		lockName := ""
+		for name := range held {
+			if lockName == "" || name < lockName {
+				lockName = name
+			}
+		}
+		p.Reportf(pos, "%s while mutex %q is held; move the I/O off the critical section (a slow operation here starves every other holder — the lease-heartbeat starvation bug class)", what, lockName)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// Only a deferred Unlock is meaningful here: it keeps the
+			// lock held for the rest of the body. Deferred I/O runs
+			// after the function's own statements; skip it.
+			if recv, delta := lockEvent(p, n.Call); delta < 0 {
+				_ = recv // deferred unlock: leave the lock held to the end
+			}
+			return false
+		case *ast.CallExpr:
+			if recv, delta := lockEvent(p, n); delta != 0 {
+				switch {
+				case delta > 0:
+					if _, already := held[recv]; !already {
+						held[recv] = n.Pos()
+						heldCount++
+					}
+				case delta < 0:
+					if _, ok := held[recv]; ok {
+						delete(held, recv)
+						heldCount--
+					}
+				}
+				return true
+			}
+			if what := ioOperation(p, n); what != "" {
+				report(n.Pos(), what)
+			}
+		case *ast.SendStmt:
+			if !nonBlocking[n] {
+				report(n.Pos(), "blocking channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonBlocking[n] {
+				report(n.Pos(), "blocking channel receive")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Obscapture enforces the observability layer's capture-at-construction
+// rule: obs.Active() and instrument lookups (Registry.Counter / Gauge /
+// Histogram, Tracer.Track) resolve through locks or atomics and must run
+// once when a component is built — never per iteration on a hot path.
+// The analyzer flags those lookups inside any loop body.
+var Obscapture = &Analyzer{
+	Name: "obscapture",
+	Doc:  "flags per-call obs.Active()/instrument lookups inside loops; capture instruments at construction",
+	Run:  runObscapture,
+}
+
+// obsLookup classifies a call as an observability lookup, or returns "".
+// Matching is by package name + type name so fixtures can model the obs
+// package shape without importing the real one.
+func obsLookup(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if fn.Name() == "Active" {
+			return "obs.Active()"
+		}
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch tn, m := named.Obj().Name(), fn.Name(); {
+	case tn == "Registry" && (m == "Counter" || m == "Gauge" || m == "Histogram"):
+		return "Registry." + m
+	case tn == "Tracer" && m == "Track":
+		return "Tracer.Track"
+	}
+	return ""
+}
+
+func runObscapture(p *Pass) error {
+	if p.Pkg.Name() == "obs" {
+		return nil // the layer's own internals manage their registries
+	}
+	for _, f := range p.Files {
+		walkLoopDepth(f, 0, func(n ast.Node, depth int) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || depth == 0 {
+				return
+			}
+			if what := obsLookup(p, call); what != "" {
+				p.Reportf(call.Pos(), "%s looked up inside a loop; capture the instrument once at construction (obs capture-at-construction rule)", what)
+			}
+		})
+	}
+	return nil
+}
+
+// walkLoopDepth walks the AST tracking how many enclosing for/range
+// loops each node has. Function literals inside a loop keep the loop
+// depth: the literal's body still executes per iteration when invoked
+// there.
+func walkLoopDepth(root ast.Node, depth int, visit func(n ast.Node, depth int)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			visitLoopParts(n.Init, n.Cond, n.Post, depth, visit)
+			if n.Body != nil {
+				walkLoopDepth(n.Body, depth+1, visit)
+			}
+			return false
+		case *ast.RangeStmt:
+			if n.X != nil {
+				walkLoopDepth(n.X, depth, visit)
+			}
+			if n.Body != nil {
+				walkLoopDepth(n.Body, depth+1, visit)
+			}
+			return false
+		}
+		visit(n, depth)
+		return true
+	})
+}
+
+// visitLoopParts walks a for statement's header at the enclosing depth
+// (the init/cond/post run per iteration too, but cond/post misuse is
+// rare and init runs once; keeping the header at the outer depth avoids
+// double-flagging the body).
+func visitLoopParts(init ast.Stmt, cond ast.Expr, post ast.Stmt, depth int, visit func(ast.Node, int)) {
+	for _, n := range []ast.Node{init, cond, post} {
+		if n != nil {
+			walkLoopDepth(n, depth, visit)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package a exercises the gostringpin analyzer: a %#v-pinned struct
+// whose GoString shim forgot a field.
+package a
+
+import "fmt"
+
+// Pinned grew an Extra field nobody taught the shim about — setting it
+// would silently change every %#v-derived checkpoint hash.
+type Pinned struct {
+	A     int
+	B     string
+	Extra float64
+}
+
+func (p Pinned) GoString() string { // want "does not handle field \"Extra\""
+	return fmt.Sprintf("a.Pinned{A:%d, B:%q}", p.A, p.B)
+}

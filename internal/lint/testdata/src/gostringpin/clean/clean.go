@@ -1,0 +1,35 @@
+// Package clean is the gostringpin negative fixture: every field is
+// handled, including one folded through a legacy mirror struct the way
+// the real shims work.
+package clean
+
+import (
+	"fmt"
+	"strings"
+)
+
+type legacyPinned struct {
+	A int
+	B string
+}
+
+// Pinned renders through a legacy mirror plus an appended new field.
+type Pinned struct {
+	A   int
+	B   string
+	New float64
+}
+
+func (p Pinned) GoString() string {
+	legacy := legacyPinned{A: p.A, B: p.B}
+	s := "clean.Pinned" + strings.TrimPrefix(fmt.Sprintf("%#v", legacy), "clean.legacyPinned")
+	if p.New != 0 {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", New:%v}", p.New)
+	}
+	return s
+}
+
+// Unshimmed has no GoString method and is never checked.
+type Unshimmed struct {
+	Whatever int
+}

@@ -1,0 +1,58 @@
+// Package a exercises the lockio analyzer: file I/O and blocking
+// channel operations while a locally acquired mutex is held.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type Guarded struct {
+	mu   sync.Mutex
+	path string
+	ch   chan int
+}
+
+// WriteUnder holds the lock (deferred unlock) across file I/O.
+func (g *Guarded) WriteUnder(data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return os.WriteFile(g.path, data, 0o644) // want "os.WriteFile while mutex"
+}
+
+// SendUnder blocks on a channel with the lock held.
+func (g *Guarded) SendUnder(v int) {
+	g.mu.Lock()
+	g.ch <- v // want "blocking channel send"
+	g.mu.Unlock()
+}
+
+// WriteAfter unlocks before the I/O — clean.
+func (g *Guarded) WriteAfter(data []byte) error {
+	g.mu.Lock()
+	p := g.path
+	g.mu.Unlock()
+	return os.WriteFile(p, data, 0o644)
+}
+
+// TrySend is non-blocking by construction — clean.
+func (g *Guarded) TrySend(v int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Allowed documents a lock that exists precisely to serialize this
+// file's I/O; the doc-comment directive covers the whole function.
+//
+//repolint:allow lockio -- fixture: the slot lock serializes this one file by design
+func (g *Guarded) Allowed(data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return os.WriteFile(g.path, data, 0o644)
+}

@@ -1,0 +1,28 @@
+// Package clean is the lockio negative fixture: locks guard memory,
+// I/O runs outside the critical section.
+package clean
+
+import (
+	"os"
+	"sync"
+)
+
+type Cache struct {
+	mu    sync.Mutex
+	items map[string][]byte
+}
+
+// Store snapshots under the lock, writes after releasing it.
+func (c *Cache) Store(path, key string) error {
+	c.mu.Lock()
+	data := c.items[key]
+	c.mu.Unlock()
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Pure state reads under a lock are fine.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

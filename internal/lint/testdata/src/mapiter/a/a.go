@@ -1,0 +1,46 @@
+// Package a exercises the mapiter analyzer: map iteration order leaking
+// into writers, sinks and returned slices.
+package a
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sink mirrors the results sink shape.
+type Sink interface {
+	Emit(key string, v int) error
+}
+
+// WriteDirect leaks map order into the writer.
+func WriteDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order feeds an io.Writer"
+	}
+}
+
+// BuildString leaks map order through a strings.Builder.
+func BuildString(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "map iteration order feeds a writer"
+	}
+	return sb.String()
+}
+
+// EmitAll leaks map order into a results sink.
+func EmitAll(s Sink, m map[string]int) {
+	for k, v := range m {
+		s.Emit(k, v) // want "results sink"
+	}
+}
+
+// ReturnUnsorted returns keys in map order.
+func ReturnUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "returns unsorted"
+	}
+	return keys
+}

@@ -1,0 +1,41 @@
+// Package clean is the mapiter negative fixture: the sanctioned
+// collect-sort-iterate pattern and order-insensitive reductions.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys collects, sorts, then writes — deterministic despite the
+// map range, because only the sorted slice reaches the writer.
+func SortedKeys(w io.Writer, m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+	return keys
+}
+
+// Reduce consumes the map order-insensitively.
+func Reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// LocalScratch appends map keys to a slice that never escapes.
+func LocalScratch(m map[string]int) int {
+	var scratch []string
+	for k := range m {
+		scratch = append(scratch, k)
+	}
+	return len(scratch)
+}

@@ -1,0 +1,34 @@
+// Package a exercises the obscapture analyzer: per-iteration instrument
+// lookups versus capture at construction.
+package a
+
+import "fixture/obs"
+
+// PerCallLookups resolve instruments inside the loop — flagged.
+func PerCallLookups(tr *obs.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		if o := obs.Active(); o != nil { // want "obs.Active\(\) looked up inside a loop"
+			o.Metrics().Counter("x").Inc() // want "Registry.Counter looked up inside a loop"
+		}
+		_ = tr.Track("p", "n") // want "Tracer.Track looked up inside a loop"
+	}
+}
+
+// CapturedAtConstruction resolves once, then updates in the loop.
+func CapturedAtConstruction(reg *obs.Registry, n int) {
+	c := reg.Counter("x")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+}
+
+// ConstructionLoop builds one track per worker once, at setup — the
+// sanctioned shape, annotated the way the real construction loops are.
+func ConstructionLoop(tr *obs.Tracer, workers int) []*obs.Track {
+	tracks := make([]*obs.Track, workers)
+	for w := range tracks {
+		//repolint:allow obscapture -- fixture: one track per worker, resolved once at construction
+		tracks[w] = tr.Track("campaign", "worker")
+	}
+	return tracks
+}

@@ -1,0 +1,20 @@
+// Package clean is the obscapture negative fixture: instruments are
+// captured once outside every loop.
+package clean
+
+import "fixture/obs"
+
+type worker struct {
+	jobs *obs.Counter
+}
+
+func newWorker(reg *obs.Registry) *worker {
+	return &worker{jobs: reg.Counter("jobs_total")}
+}
+
+// Run updates the captured instrument per job — no lookups in the loop.
+func (w *worker) Run(n int) {
+	for i := 0; i < n; i++ {
+		w.jobs.Inc()
+	}
+}

@@ -1,0 +1,30 @@
+// Package obs mirrors the real observability package's lookup shape
+// (package name, type names, method names) so the obscapture fixtures
+// can exercise the analyzer without importing the real module.
+package obs
+
+type Observer struct {
+	reg Registry
+	tr  Tracer
+}
+
+func Active() *Observer { return nil }
+
+func (o *Observer) Metrics() *Registry { return &o.reg }
+func (o *Observer) Tracer() *Tracer    { return &o.tr }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                { return nil }
+func (r *Registry) Gauge(name string) *Counter                  { return nil }
+func (r *Registry) Histogram(name string, b []float64) *Counter { return nil }
+
+type Track struct{}
+
+type Tracer struct{}
+
+func (t *Tracer) Track(process, name string) *Track { return nil }

@@ -1,0 +1,34 @@
+// Package a exercises the wallclock analyzer: ambient nondeterminism is
+// flagged, seeded derivation is not, and annotated sites are allowed.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Flagged() (int64, float64, int) {
+	t := time.Now()     // want "time.Now reads wall clock"
+	d := time.Since(t)  // want "time.Since reads wall clock"
+	f := rand.Float64() // want "rand.Float64 reads global RNG"
+	pid := os.Getpid()  // want "os.Getpid reads process identity"
+	_ = d
+	return t.UnixNano(), f, pid
+}
+
+// Clean derives every value from an explicit seed — the sanctioned
+// pattern.
+func Clean(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Allowed is annotated: suppressed, but still visible in -json output.
+func Allowed() time.Time {
+	//repolint:allow wallclock -- fixture: heartbeat timestamps are wall-clock by design
+	return time.Now()
+}
+
+//repolint:allow wallclock // want "directive needs a reason"
+//repolint:allow nosuchanalyzer -- x // want "unknown analyzer"

@@ -1,0 +1,11 @@
+// Package clean is the wallclock negative fixture: derived time and
+// seeded RNG only — the analyzer must stay silent here.
+package clean
+
+import "math/rand"
+
+// Step advances a virtual clock deterministically.
+func Step(virtualUS float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return virtualUS + rng.Float64()
+}
