@@ -142,6 +142,7 @@ func main() {
 			return
 		}
 	}
+	//repolint:allow wallclock -- bench runs are fingerprinted with host class and wall-clock timestamp by design
 	if err := appendRun(*out, Run{Unix: time.Now().Unix(), Host: host, Results: results}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchlog:", err)
 		os.Exit(2)

@@ -287,6 +287,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 	if o := obs.Active(); o != nil {
 		tracks = make([]*obs.Track, workers)
 		for w := range tracks {
+			//repolint:allow obscapture -- one Track per worker, resolved once here at campaign construction, then reused for every job
 			tracks[w] = o.Tracer().Track("campaign", fmt.Sprintf("worker %02d", w))
 		}
 		met = newCampMetrics(o.Metrics())
@@ -513,6 +514,8 @@ func (r *runState) pollLocked() {
 // the payload that process stored, and ClaimRun runs the job here under
 // the claim, releasing it after the checkpoint save so other processes
 // flip from busy to done without ever re-executing the job.
+//
+//repolint:allow wallclock -- job elapsed time is measurement metadata (progress events, obs spans, lease audit); it never reaches rendered output or hashes
 func (r *runState) execute(tr *obs.Track, job Job, deps map[string]any) (v any, elapsed time.Duration, cached, busy bool, err error) {
 	sp := tr.Begin("job", job.Key)
 	defer func() {

@@ -42,6 +42,8 @@ func DistributedConfig(cc campaign.Config, dir, owner string, opts lease.Options
 // DefaultOwner derives a worker identity from the host name and process
 // id — unique across a fleet of simultaneously live workers, which is all
 // the lease protocol needs.
+//
+//repolint:allow wallclock -- the owner id is process identity by design; it names lease and audit files, never simulated state
 func DefaultOwner() string {
 	host, err := os.Hostname()
 	if err != nil || host == "" {

@@ -38,6 +38,7 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTrackCapacity
 	}
+	//repolint:allow wallclock -- span timestamps are wall-clock by design; traces are write-only observability, never simulation input
 	return &Tracer{capacity: capacity, epoch: time.Now(), index: map[trackKey]*Track{}}
 }
 
@@ -54,6 +55,7 @@ func (t *Tracer) clock() int64 {
 	if t.now != nil {
 		return t.now()
 	}
+	//repolint:allow wallclock -- span timestamps are wall-clock by design; tests inject a fixed clock for byte-stable goldens
 	return int64(time.Since(t.epoch))
 }
 

@@ -258,6 +258,8 @@ func (m *Manager) TryClaim(key, hash string) (campaign.ClaimState, error) {
 }
 
 // tryClaim is TryClaim's protocol body, free of observability concerns.
+//
+//repolint:allow wallclock -- lease staleness and grant times are wall-clock by protocol design (heartbeat age vs TTL); they arbitrate who runs, never what the run produces
 func (m *Manager) tryClaim(key, hash string) (campaign.ClaimState, error) {
 	addr := m.st.Addr(key, hash)
 	path := m.leasePath(addr)
@@ -328,6 +330,8 @@ func (m *Manager) tryClaim(key, hash string) (campaign.ClaimState, error) {
 // file and link(2)ed to the canonical lease name, so the lease appears
 // atomically and fully written, or not at all. created=false means a
 // lease already exists.
+//
+//repolint:allow wallclock -- the lease record carries a wall-clock heartbeat timestamp by protocol design
 func (m *Manager) tryCreate(path, key, hash string) (created bool, err error) {
 	tmp, err := os.CreateTemp(m.dir, ".claim-*")
 	if err != nil {
@@ -359,6 +363,9 @@ func (m *Manager) tryCreate(path, key, hash string) (created bool, err error) {
 // so another worker can retry the failed job. A lease that was stolen in
 // the meantime (this process stalled past TTL) is left alone and counted
 // in Lost.
+//
+//repolint:allow wallclock -- audit hold times and end timestamps are wall-clock measurement by design; they feed the throughput report, never rendered results
+//repolint:allow lockio -- lease-file I/O runs under the per-address lock precisely so it can be slow (NFS) without starving the manager lock that heartbeat renewal needs
 func (m *Manager) Release(key, hash string, completed bool) error {
 	addr := m.st.Addr(key, hash)
 	// Per-address lock, not the manager lock: lease-file I/O can be slow
@@ -474,6 +481,9 @@ func (m *Manager) renew() {
 }
 
 // renewOne refreshes a single held lease under its address lock.
+//
+//repolint:allow wallclock -- heartbeat renewal stamps the lease with the current wall clock; that is the protocol's liveness signal
+//repolint:allow lockio -- the rewrite runs under the per-address lock so a racing Release cannot resurrect a released lease; the manager lock is never held here
 func (m *Manager) renewOne(addr string) {
 	al := m.addrLock(addr)
 	al.Lock()
