@@ -272,6 +272,43 @@
 // rollback rates land in the campaign's CSV output next to the
 // measurements they explain.
 //
+// # Static analysis
+//
+// The determinism and responsiveness invariants above are enforced
+// statically, not just by golden tests: internal/lint implements five
+// repository-specific analyzers in the go/analysis style (self-contained
+// on the standard library — packages load via "go list -export" and the
+// gc export-data importer, so the suite runs offline), and cmd/repolint
+// is the multichecker driver:
+//
+//   - wallclock: time.Now/Since/Until, the global math/rand functions and
+//     process identity (os.Getpid, os.Hostname) in deterministic
+//     packages — values must derive from config and seeds;
+//   - mapiter: map iteration whose order leaks into an io.Writer, a
+//     results Sink or a returned slice without sorting first;
+//   - gostringpin: %#v-pinned structs (checkpoint config hashing) whose
+//     GoString shim fails to handle a declared field, which would
+//     silently change stored hashes when the field is first set;
+//   - lockio: file/network I/O or blocking channel operations while a
+//     mutex acquired in the same function is held — the lease-heartbeat
+//     starvation bug class;
+//   - obscapture: obs.Active() or instrument lookups inside loops,
+//     violating the capture-at-construction rule above.
+//
+// "go run ./cmd/repolint ./..." must exit 0; CI gates on it. Legitimate
+// exceptions are annotated in place:
+//
+//	//repolint:allow wallclock -- lease heartbeats are wall-clock by protocol
+//
+// The reason after "--" is mandatory and the directive covers its own
+// line, the line below it, or — when placed in a function's doc
+// comment — the whole function. Malformed or unknown-name directives are
+// themselves diagnostics. Suppressed findings stay visible in
+// "repolint -json" output, so the allowlist is auditable: every
+// wall-clock read (lease heartbeats, obs span timestamps, bench
+// fingerprints) and every I/O-under-lock design decision is annotated
+// with its justification.
+//
 // Benchmark trajectory: cmd/benchlog records the benchmark suite into
 // the checked-in BENCH_*.json log and gates pull requests at +25% ns/op
 // against the newest baseline from a comparable host class. The gate
