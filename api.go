@@ -84,10 +84,11 @@ type (
 	SchedulerMode = mpi.SchedulerMode
 	// SpecStats is the optimistic scheduler's speculation telemetry
 	// (published sends, pipelined ops, conflicts, rollbacks, re-executed
-	// virtual time).
+	// virtual time, adaptive-window range and speculative-collective
+	// hits/rollbacks).
 	SpecStats = mpi.SpecStats
 	// SchedChoice is one value of the scheduler grid axis: a mode plus its
-	// parallel-rank cap.
+	// parallel-rank cap and optimistic speculation-window bounds.
 	SchedChoice = campaign.SchedChoice
 	// GridSweep is one grid scenario's sweep result and fitted model.
 	GridSweep = harness.GridSweep
@@ -399,6 +400,14 @@ func FluxAxis(fluxes ...string) Dimension   { return campaign.FluxAxis(fluxes...
 func SchedAxis(choices ...SchedChoice) Dimension { return campaign.SchedAxis(choices...) }
 func SchedModeAxis(modes ...SchedulerMode) Dimension {
 	return campaign.SchedModeAxis(modes...)
+}
+
+// ParseSpecWindow parses a -specwindow style flag value into
+// WorldConfig.SpecWindowMin/Max bounds for the optimistic scheduler:
+// "min:max" adapts between the bounds, a single positive integer pins a
+// fixed window, and "" or "0" keeps the default fixed 4096-event window.
+func ParseSpecWindow(s string) (min, max int, err error) {
+	return mpi.ParseSpecWindow(s)
 }
 
 // TrendByAxis builds a trend selector for any numeric user-defined grid

@@ -360,16 +360,71 @@ func benchGhostCommBody(r *mpi.Rank) {
 	}
 }
 
+// benchWildcardBody is the rollback-heavy workload: rank 0 drains a burst
+// of wildcard receives from every peer, and under the optimistic scheduler
+// every wildcard match is a speculation the commit automaton must validate
+// against the serial arrival order. Skewed sender clocks make mismatches
+// routine, so this is the body that drives conflicts, rollbacks and the
+// adaptive window's multiplicative shrink.
+func benchWildcardBody(r *mpi.Rank) {
+	c := r.Comm
+	me, p := c.Rank(), c.Size()
+	if me == 0 {
+		buf := make([]float64, 32)
+		for i := 0; i < (p-1)*16; i++ {
+			c.Recv(mpi.AnySource, mpi.AnyTag, buf)
+		}
+	} else {
+		payload := make([]float64, 32)
+		for i := range payload {
+			payload[i] = float64(me*32 + i)
+		}
+		for i := 0; i < 16; i++ {
+			r.Proc.Advance(float64((me*7+i*13)%29) * 10)
+			c.Send(0, i%4, payload)
+		}
+	}
+	c.Barrier()
+}
+
+// benchCollectiveBody is the collective-heavy workload: back-to-back
+// Allreduce rounds (with periodic Bcasts) separated by slivers of skewed
+// compute. This is what the speculative-collective path targets — a rank
+// whose peers have all published their contributions computes the result
+// itself and keeps running instead of parking on the commit token.
+func benchCollectiveBody(r *mpi.Rank) {
+	c := r.Comm
+	me := c.Rank()
+	val := []float64{float64(me)}
+	buf := make([]float64, 8)
+	for i := range buf {
+		buf[i] = float64(me*8 + i)
+	}
+	for step := 0; step < 64; step++ {
+		r.Proc.ChargeFlops(500)
+		r.Proc.Advance(float64((me*11 + step*5) % 17))
+		res := c.Allreduce(mpi.OpSum, val)
+		val[0] = res[0] * 0.5
+		if step%8 == 7 {
+			c.Bcast(0, buf)
+		}
+	}
+}
+
 // BenchmarkWorldRun compares the serial token scheduler against the
 // conservative and optimistic parallel schedulers at 4/8/16 ranks, on a
-// pure compute segment, on a comm-heavy ghost exchange, and on the Fig. 3
-// profile workload (the full component application with ghost exchanges).
-// Virtual results are bit-identical by design — the reported wall-clock
-// ratio is the whole point: on a >= 4 core host the compute segment runs
-// >= 2x faster at 8+ ranks under "par" and "opt", because rank compute
-// executes concurrently, and the ghost exchange additionally favors "opt",
-// whose speculative receive path pipelines the very communication that
-// serializes "par" behind the commit token.
+// pure compute segment, on a comm-heavy ghost exchange, on a
+// wildcard-heavy rollback stress, on a collective-heavy round loop, and on
+// the Fig. 3 profile workload (the full component application with ghost
+// exchanges). Virtual results are bit-identical by design — the reported
+// wall-clock ratio is the whole point: on a >= 4 core host the compute
+// segment runs >= 2x faster at 8+ ranks under "par" and "opt", because
+// rank compute executes concurrently, and the ghost and collective bodies
+// additionally favor "opt", whose speculative receive and collective paths
+// pipeline the very communication that serializes "par" behind the commit
+// token. The opt sub-benches report speculation telemetry: pipelined ops
+// and rollbacks (ghost), conflicts plus the adaptive window's observed
+// min/max (wildcard), and speculative-collective hits/rollbacks (coll).
 func BenchmarkWorldRun(b *testing.B) {
 	modes := []mpi.SchedulerMode{mpi.Serial, mpi.ConservativeParallel, mpi.OptimisticParallel}
 	for _, p := range []int{4, 8, 16} {
@@ -406,6 +461,54 @@ func BenchmarkWorldRun(b *testing.B) {
 				if mode == mpi.OptimisticParallel {
 					b.ReportMetric(float64(spec.PipelinedOps), "pipelined-ops")
 					b.ReportMetric(float64(spec.Rollbacks), "rollbacks")
+				}
+			})
+		}
+	}
+	for _, p := range []int{4, 8, 16} {
+		for _, mode := range modes {
+			p, mode := p, mode
+			b.Run(fmt.Sprintf("wildcard/p%d/%s", p, mode), func(b *testing.B) {
+				cfg := mpi.DefaultConfig()
+				cfg.Procs = p
+				cfg.Sched = mode
+				var spec mpi.SpecStats
+				for i := 0; i < b.N; i++ {
+					w := mpi.NewWorld(cfg)
+					if err := w.Run(benchWildcardBody); err != nil {
+						b.Fatal(err)
+					}
+					spec = w.SpecStats()
+				}
+				if mode == mpi.OptimisticParallel {
+					b.ReportMetric(float64(spec.Conflicts), "conflicts")
+					b.ReportMetric(float64(spec.Rollbacks), "rollbacks")
+					b.ReportMetric(float64(spec.WindowMin), "window-min")
+					b.ReportMetric(float64(spec.WindowMax), "window-max")
+				}
+			})
+		}
+	}
+	for _, p := range []int{4, 8, 16} {
+		for _, mode := range modes {
+			p, mode := p, mode
+			b.Run(fmt.Sprintf("coll/p%d/%s", p, mode), func(b *testing.B) {
+				cfg := mpi.DefaultConfig()
+				cfg.Procs = p
+				cfg.Sched = mode
+				var spec mpi.SpecStats
+				for i := 0; i < b.N; i++ {
+					w := mpi.NewWorld(cfg)
+					if err := w.Run(benchCollectiveBody); err != nil {
+						b.Fatal(err)
+					}
+					spec = w.SpecStats()
+				}
+				if mode == mpi.OptimisticParallel {
+					b.ReportMetric(float64(spec.SpecCollHits), "spec-coll-hits")
+					b.ReportMetric(float64(spec.SpecCollRollbacks), "spec-coll-rollbacks")
+					b.ReportMetric(float64(spec.WindowMin), "window-min")
+					b.ReportMetric(float64(spec.WindowMax), "window-max")
 				}
 			})
 		}

@@ -18,14 +18,17 @@
 //	go run ./cmd/benchlog -check
 //
 // A benchmark whose ns/op exceeds the baseline by more than -threshold
-// (default 25%) is a regression and the command exits 1. Two escapes are
-// built in, both deliberate:
+// (default 25%) is a regression and the command exits 1. Benchmarks that
+// exist now but not in the baseline (a PR adding suite coverage) are
+// reported as NEW and never gate — they enter the trajectory when the next
+// run is appended. Two escapes are built in, both deliberate:
 //
 //   - Host mismatch: wall-clock baselines only mean something on the host
-//     class that produced them. When the current host's fingerprint (GOOS,
-//     GOARCH, CPU model, CPU count) differs from the baseline's, the
-//     comparison is reported but the exit code stays 0. To arm the gate on
-//     a new host class, append a run from that class to the log.
+//     class that produced them. The check resolves its baseline to the
+//     newest logged run from the current host class; when the log has
+//     never seen this class, the comparison against the newest run of any
+//     class is reported but the exit code stays 0. To arm the gate on a
+//     new host class, append a run from that class to the log.
 //   - BENCHLOG_ACCEPT_REGRESSION=1 in the environment downgrades a failing
 //     check to a warning — the escape hatch for a PR that knowingly trades
 //     benchmark time for something else. Use it in the PR that documents
@@ -272,8 +275,13 @@ func appendRun(path string, run Run) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// baseline resolves the log to check against and returns its last run.
-func baseline(against string) (string, *Run, error) {
+// baseline resolves the log to check against and returns the newest run
+// from the given host class — wall-clock numbers only bind within one
+// class, so a run appended later from a different CI runner must not
+// shadow this class's baseline. When the log has never seen this class it
+// falls back to the newest run of any class (checkRun then reports the
+// comparison without failing).
+func baseline(against string, host Host) (string, *Run, error) {
 	if against == "" {
 		logs, err := filepath.Glob("BENCH_*.json")
 		if err != nil || len(logs) == 0 {
@@ -293,13 +301,18 @@ func baseline(against string) (string, *Run, error) {
 	if len(f.Runs) == 0 {
 		return against, nil, fmt.Errorf("%s holds no runs", against)
 	}
+	for i := len(f.Runs) - 1; i >= 0; i-- {
+		if f.Runs[i].Host.comparable(host) {
+			return against, &f.Runs[i], nil
+		}
+	}
 	return against, &f.Runs[len(f.Runs)-1], nil
 }
 
 // checkRun compares the fresh results against the baseline and returns the
 // process exit code.
 func checkRun(against string, threshold float64, host Host, results []Result) int {
-	path, base, err := baseline(against)
+	path, base, err := baseline(against, host)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchlog:", err)
 		return 2
@@ -307,6 +320,10 @@ func checkRun(against string, threshold float64, host Host, results []Result) in
 	cur := map[string]Result{}
 	for _, r := range results {
 		cur[r.Name] = r
+	}
+	baseNames := map[string]bool{}
+	for _, b := range base.Results {
+		baseNames[b.Name] = true
 	}
 	regressions := 0
 	fmt.Printf("benchlog: checking %d benchmark(s) against %s (threshold +%.0f%%)\n",
@@ -325,6 +342,14 @@ func checkRun(against string, threshold float64, host Host, results []Result) in
 		}
 		fmt.Printf("  %s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
 			mark, b.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+	}
+	// Benchmarks this tree produces that the baseline has never seen (a PR
+	// extending the suite) have nothing to gate against: warn, never fail —
+	// they join the trajectory when the next run is appended.
+	for _, r := range results {
+		if !baseNames[r.Name] {
+			fmt.Printf("  NEW      %-60s %12.0f ns/op  (not in baseline; not gated)\n", r.Name, r.NsPerOp)
+		}
 	}
 	if regressions == 0 {
 		fmt.Println("benchlog: no regressions")

@@ -38,6 +38,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "campaign workers for -models/-cachestudy (0 = all CPUs)")
 		rankpar  = flag.Int("rankpar", 0, "run each simulated world's ranks concurrently on up to N goroutines (output is bit-identical to serial). 0 = serial, -1 = parallel with no cap")
 		rankmode = flag.String("rankmode", "", "rank scheduler: serial | par (conservative) | opt (optimistic/Time Warp). Empty derives the mode from -rankpar (nonzero = par); -rankpar then sets the concurrency cap")
+		specwin  = flag.String("specwindow", "", `optimistic speculation window: "min:max" adapts between the bounds, a single size pins a fixed window, 0 or empty keeps the fixed 4096-event default (only meaningful with -rankmode opt)`)
 		cache    = flag.String("cache", "", "checkpoint store directory for the campaign subcommands (empty = no store)")
 		distrib  = flag.Bool("distributed", false, "partition campaign jobs with other -distributed processes sharing the same -cache store via lease files (no coordinator)")
 		owner    = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
@@ -57,11 +58,16 @@ func main() {
 		defer obs.Disable()
 	}
 
-	// applySched maps -rankmode/-rankpar onto a world: the parallel
-	// schedulers change wall-clock time only, never results.
+	// applySched maps -rankmode/-rankpar/-specwindow onto a world: the
+	// parallel schedulers change wall-clock time only, never results.
+	swMin, swMax, err := mpi.ParseSpecWindow(*specwin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	applySched := func(w *mpi.WorldConfig) {
 		if *rankmode == "" {
-			*w = w.WithRankParallelism(*rankpar)
+			*w = w.WithRankParallelism(*rankpar).WithSpecWindow(swMin, swMax)
 			return
 		}
 		mode, err := mpi.ParseSchedulerMode(*rankmode)
@@ -69,7 +75,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		*w = w.WithScheduler(mode, *rankpar)
+		*w = w.WithScheduler(mode, *rankpar).WithSpecWindow(swMin, swMax)
 	}
 
 	cfg := harness.DefaultCaseStudy()

@@ -76,13 +76,26 @@
 //     discipline over the recorded per-rank event streams to validate
 //     every pick. A mispredicted pick rolls the rank back to its
 //     checkpoint and re-executes against the committed truth, so results
-//     stay bit-identical to Serial. Speculation depth is bounded by a
-//     4096-event window per world (a rank past the window parks until the
-//     automaton catches up), which also guarantees quiescence for
-//     deadlock detection. Telemetry — published sends, pipelined ops,
-//     speculated ops, conflicts, rollbacks, re-executed virtual time,
-//     window stalls — is exposed via World.SpecStats and printed in the
-//     deadlock dump.
+//     stay bit-identical to Serial. Collectives speculate too: a rank
+//     whose peers have all published their contributions computes the
+//     collective result itself — running ahead without a verdict when the
+//     completion is provably exact (no network noise, or a
+//     full-membership collective whose cost-noise draw index is pinned by
+//     the commit order), and otherwise parking on a checkpointed
+//     tentative result that the commit replay confirms or rolls back.
+//     Speculation depth is bounded by a per-rank adaptive window
+//     (WorldConfig.SpecWindowMin/Max, "-specwindow min:max"): windows
+//     start at the max, halve on every rollback and creep back up after
+//     batches of clean commits, so conflict-prone ranks throttle
+//     themselves while clean ones run deep. The default keeps the fixed
+//     4096-event window (and with it every existing scenario key and
+//     checkpoint hash); a rank past its window parks until the automaton
+//     catches up, which also guarantees quiescence for deadlock
+//     detection. Telemetry — published sends, pipelined ops, speculated
+//     ops, conflicts, rollbacks, re-executed virtual time, window stalls,
+//     window grows/shrinks and observed min/max, speculative-collective
+//     hits and rollbacks — is exposed via World.SpecStats and printed in
+//     the deadlock dump.
 //
 // The determinism guarantee is bit-for-bit, proven by test, not hoped
 // for: for every scenario of the golden grid both parallel schedulers
@@ -99,11 +112,14 @@
 // communication-dominated workloads serialize at their commit points
 // anyway. That serialization is exactly what the optimistic mode attacks:
 // a ghost-exchange loop of specific-source receives never blocks on the
-// commit token (BenchmarkWorldRun's ghost variant), so prefer "opt" over
+// commit token (BenchmarkWorldRun's ghost variant), and speculative
+// collectives let collective-heavy bodies run ahead of the commit
+// automaton too (BenchmarkWorldRun's coll variant) — so prefer "opt" over
 // "par" when the body is communication-heavy with mostly specific-source
-// traffic and few wildcards; heavy AnySource traffic with genuine races
-// costs rollbacks (watch SpecStats.Conflicts), and pure compute gains
-// nothing over the conservative mode. Across-world
+// or collective traffic and few wildcards; heavy AnySource traffic with
+// genuine races costs rollbacks (watch SpecStats.Conflicts, and tighten
+// "-specwindow" so conflict-prone ranks throttle themselves), and pure
+// compute gains nothing over the conservative mode. Across-world
 // campaign parallelism (CampaignConfig.Workers) is the first lever: whole
 // scenarios are embarrassingly parallel. The two compose multiplicatively
 // (worlds x ranks); prefer campaign workers when the grid has many
@@ -268,9 +284,12 @@
 // into per-owner and per-track throughput tables, and validates the
 // trace schema (-require campaign,lease,mpi) so CI fails when an
 // instrumentation layer goes silent. Non-serial sweep jobs additionally
-// emit their SpecStats as a "spec/<job key>" row shard, so conflict and
-// rollback rates land in the campaign's CSV output next to the
-// measurements they explain.
+// emit their SpecStats as a "spec/<job key>" row shard — conflict and
+// rollback rates, the adaptive window's grows/shrinks and observed
+// min/max, and speculative-collective hits and rollbacks — so speculation
+// behavior lands in the campaign's CSV output next to the measurements it
+// explains, and "cmd/obsreport -rows <dir>" aggregates those shards into
+// a per-scenario speculation table after the fact.
 //
 // # Static analysis
 //

@@ -44,13 +44,15 @@ func replayRows(ctx context.Context, key string, rows []results.Row) error {
 }
 
 // specKind salts a sweep job's checkpoint-hash kind when its world runs a
-// non-serial scheduler. Those jobs now emit (and must replay) a
-// speculation-telemetry row under SpecKey, so payloads stored before the
-// row existed re-run once; serial jobs keep their byte-stable hashes, and
-// the golden grid fingerprints with them.
+// non-serial scheduler. Those jobs emit (and must replay) a
+// speculation-telemetry row under SpecKey whose column set defines the
+// salt generation — "+spec2" added the adaptive-window and
+// speculative-collective columns — so payloads stored under an older row
+// schema re-run once; serial jobs keep their byte-stable hashes, and the
+// golden grid fingerprints with them.
 func specKind(kind string, w mpi.WorldConfig) string {
 	if w.Sched != mpi.Serial {
-		return kind + "+spec1"
+		return kind + "+spec2"
 	}
 	return kind
 }

@@ -385,6 +385,12 @@ func (s *SweepResult) SpecRow() results.Row {
 		results.F("conflicts", int64(s.Spec.Conflicts)),
 		results.F("rollbacks", int64(s.Spec.Rollbacks)),
 		results.F("window_stalls", int64(s.Spec.WindowStalls)),
+		results.F("window_grows", int64(s.Spec.WindowGrows)),
+		results.F("window_shrinks", int64(s.Spec.WindowShrinks)),
+		results.F("window_min", int64(s.Spec.WindowMin)),
+		results.F("window_max", int64(s.Spec.WindowMax)),
+		results.F("spec_coll_hits", int64(s.Spec.SpecCollHits)),
+		results.F("spec_coll_rollbacks", int64(s.Spec.SpecCollRollbacks)),
 		results.F("reexecuted_us", s.Spec.ReexecutedUS),
 		results.F("conflict_rate", rate(s.Spec.Conflicts)),
 		results.F("rollback_rate", rate(s.Spec.Rollbacks)),

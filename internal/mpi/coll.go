@@ -166,26 +166,28 @@ func (c *Comm) collectiveLocked(kind collKind, data []float64, root int, op Op) 
 	return res, cs.lastID
 }
 
-// completeCollectiveLocked is run by the last arriving rank: it computes
-// every member's result, costs the collective, and releases the others.
-func (c *Comm) completeCollectiveLocked(cs *collState) {
-	w := c.world
-	p := len(c.group)
+// collResults computes the per-rank results of a completed data collective
+// from its contribution set, plus the byte count the network model charges
+// — the pure half of completeCollectiveLocked, shared with the optimistic
+// scheduler's speculative completion path. Dup and Create are not data
+// collectives: they allocate a communicator id (order-sensitive shared
+// state) and return empty results here.
+func collResults(kind collKind, op Op, root, groupLen int, contrib [][]float64) ([][]float64, int) {
 	var bytes int
-	results := make([][]float64, p)
-	switch cs.kind {
-	case collBarrier:
+	results := make([][]float64, groupLen)
+	switch kind {
+	case collBarrier, collDup, collCreate:
 		// no data
 	case collAllreduce, collReduce:
-		acc := reduceContrib(cs.contrib, cs.op)
+		acc := reduceContrib(contrib, op)
 		bytes = bytesOf(len(acc))
 		for i := range results {
-			if cs.kind == collAllreduce || i == cs.root {
+			if kind == collAllreduce || i == root {
 				results[i] = acc
 			}
 		}
 	case collBcast:
-		src := cs.contrib[cs.root]
+		src := contrib[root]
 		if src == nil {
 			panic("mpi: Bcast root contributed no data")
 		}
@@ -195,17 +197,29 @@ func (c *Comm) completeCollectiveLocked(cs *collState) {
 		}
 	case collAllgather:
 		var total []float64
-		for i, part := range cs.contrib {
+		for i, part := range contrib {
 			if part == nil {
 				panic(fmt.Sprintf("mpi: Allgather rank %d contributed no data", i))
 			}
 			total = append(total, part...)
 		}
-		bytes = bytesOf(len(cs.contrib[0]))
+		bytes = bytesOf(len(contrib[0]))
 		for i := range results {
 			results[i] = total
 		}
-	case collDup, collCreate:
+	default:
+		panic(fmt.Sprintf("mpi: unknown collective kind %d", int(kind)))
+	}
+	return results, bytes
+}
+
+// completeCollectiveLocked is run by the last arriving rank: it computes
+// every member's result, costs the collective, and releases the others.
+func (c *Comm) completeCollectiveLocked(cs *collState) {
+	w := c.world
+	p := len(c.group)
+	results, bytes := collResults(cs.kind, cs.op, cs.root, p, cs.contrib)
+	if cs.kind == collDup || cs.kind == collCreate {
 		cs.lastID = w.nextCommID
 		w.nextCommID++
 	}

@@ -27,12 +27,26 @@ package mpi
 //
 // There is no dedicated committer goroutine: any rank that parks inside an
 // MPI operation helps drive the automaton while it waits. The speculation
-// window (specWindow events of run-ahead per rank) bounds how far a rank's
-// stream may outrun the commit frontier, guaranteeing quiescence for the
-// deadlock check.
+// window bounds how far a rank's stream may outrun the commit frontier
+// (guaranteeing quiescence for the deadlock check); it is fixed at
+// specWindow events by default, or adaptive per rank when WorldConfig
+// bounds it — halving on every rollback, growing back additively after
+// clean commit batches (AIMD).
+//
+// Collectives complete speculatively once every member's contribution is
+// published: the last arriver computes the results — a pure function of
+// the contribution set — and a cost draw from a mirror of the shared
+// collective-cost RNG. When the draw's commit-order index is provably
+// pinned (no draw at all under zero noise, or a full-membership
+// communicator with every other communicator speculatively quiescent)
+// every member runs ahead without waiting for the commit automaton;
+// otherwise the draw is a provisional guess and members park under an
+// undo log holding the contribution set, which the commit replay either
+// validates (bitwise-equal leave time) or rolls back exactly.
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/cache"
 	"repro/internal/obs"
@@ -43,8 +57,17 @@ import (
 // specWindow caps how many recorded events a rank's stream may run ahead of
 // the commit frontier before the rank parks. It bounds memory growth and
 // guarantees every rank eventually parks, which the deadlock check relies
-// on.
+// on. It is the fixed default; WorldConfig.SpecWindowMin/Max replace it
+// with a per-rank adaptive window.
 const specWindow = 4096
+
+// Adaptive-window tuning: a rollback halves the rank's window
+// (multiplicative decrease); specGrowBatch consecutive clean commits grow
+// it back by specGrowStep events (additive increase), AIMD-style.
+const (
+	specGrowBatch = 64
+	specGrowStep  = 64
+)
 
 // Automaton view of a rank's scheduling state (mirrors the serial
 // scheduler's stReady/stBlocked/stDone over the replayed order).
@@ -95,8 +118,27 @@ type SpecStats struct {
 	// had speculated).
 	Rollbacks uint64
 	// WindowStalls counts times a rank parked because its event stream ran
-	// specWindow events ahead of the commit frontier.
+	// a full speculation window ahead of the commit frontier.
 	WindowStalls uint64
+	// WindowGrows and WindowShrinks count adaptive speculation-window
+	// moves: a shrink halves a rank's window after a rollback, a grow adds
+	// specGrowStep back after specGrowBatch clean commits. Both stay zero
+	// when the window is fixed.
+	WindowGrows   uint64
+	WindowShrinks uint64
+	// WindowMin and WindowMax are the smallest and largest per-rank window
+	// sizes observed during the run (both equal the fixed window when
+	// adaptation is off).
+	WindowMin uint64
+	WindowMax uint64
+	// SpecCollHits counts collective arrivals served speculatively — the
+	// result computed from the published contribution set before the
+	// commit turn — and validated by the commit replay.
+	SpecCollHits uint64
+	// SpecCollRollbacks counts speculative collective arrivals whose
+	// predicted leave time mismatched the commit replay, rolling the rank
+	// back to the contribution set recorded in its undo log.
+	SpecCollRollbacks uint64
 	// ReexecutedUS is the total virtual time discarded by rollbacks and
 	// re-executed from the committed truth.
 	ReexecutedUS float64
@@ -158,6 +200,15 @@ type specEvent struct {
 	collRes    []float64
 	collLeave  float64
 	collID     int
+	// Speculative-completion state: collSpec marks leave/res as computed
+	// from the published contribution set ahead of the commit replay,
+	// collRunAhead that the completion is provably exact (the rank returns
+	// without a verdict), and collSpecContrib the contribution set the
+	// speculation consumed, recorded into the verdict-parked rank's undo
+	// log.
+	collSpec        bool
+	collRunAhead    bool
+	collSpecContrib [][]float64
 
 	// evKeyval
 	keyvalID int
@@ -188,13 +239,52 @@ type optState struct {
 	finished []bool // rank goroutine returned
 	parked   []bool // rank is waiting inside optParkLocked
 
-	window int
-	stats  SpecStats
+	// Adaptive speculation window: per-rank current size, the configured
+	// bounds, and the per-rank clean-commit streak that drives growth.
+	win            []int
+	winMin, winMax int
+	streak         []int
+
+	// Speculative-collective state. mirror runs every communicator's
+	// collective rendezvous over the published arrival order, ahead of the
+	// committed collState; specRng replays the shared collective-cost RNG
+	// stream for speculative completions. specDraws and commitDraws count
+	// cost draws consumed from specRng and from the committed w.rng: their
+	// difference is the number of speculative completions running ahead of
+	// the commit frontier, which pins the draw index a run-ahead
+	// completion will receive at its commit turn.
+	mirror      map[int]*specCollMirror
+	specRng     *rand.Rand
+	specDraws   uint64
+	commitDraws uint64
+
+	stats SpecStats
+}
+
+// specCollMirror tracks one communicator's in-flight collective over the
+// published (speculative) arrival order — the same rendezvous collState
+// runs for the committed order, but advanced as arrivals are recorded
+// rather than replayed, so its generation counter is always at or ahead
+// of the committed one.
+type specCollMirror struct {
+	gen      uint64
+	arrived  int
+	kind     collKind
+	op       Op
+	root     int
+	tmax     float64
+	contrib  [][]float64
+	events   []*specEvent
+	mismatch bool
 }
 
 // newOptState sizes the scheduler state for the world's rank count.
 func newOptState(w *World) *optState {
 	n := w.cfg.Procs
+	lo, hi := w.cfg.SpecWindowMin, w.cfg.SpecWindowMax
+	if lo == 0 && hi == 0 {
+		lo, hi = specWindow, specWindow
+	}
 	o := &optState{
 		w:        w,
 		pub:      make(map[mailKey][]*message),
@@ -205,12 +295,63 @@ func newOptState(w *World) *optState {
 		cur:      -1,
 		finished: make([]bool, n),
 		parked:   make([]bool, n),
-		window:   specWindow,
+		win:      make([]int, n),
+		winMin:   lo,
+		winMax:   hi,
+		streak:   make([]int, n),
+		mirror:   make(map[int]*specCollMirror),
+		specRng:  rand.New(rand.NewSource(w.cfg.Seed ^ 0x51ca5e)),
 	}
 	for r := range o.aClock {
 		o.aClock[r] = w.ranks[r].Proc.Now()
+		o.win[r] = hi // windows start wide and shrink on rollbacks
 	}
+	o.stats.WindowMin = uint64(hi)
+	o.stats.WindowMax = uint64(hi)
 	return o
+}
+
+// shrinkWindowLocked halves rank's speculation window after a rollback,
+// bounded below by the configured minimum, and resets its clean-commit
+// streak. A no-op beyond the streak reset when the window is fixed.
+func (o *optState) shrinkWindowLocked(rank int) {
+	o.streak[rank] = 0
+	nw := o.win[rank] / 2
+	if nw < o.winMin {
+		nw = o.winMin
+	}
+	if nw == o.win[rank] {
+		return
+	}
+	o.win[rank] = nw
+	o.stats.WindowShrinks++
+	if uint64(nw) < o.stats.WindowMin {
+		o.stats.WindowMin = uint64(nw)
+	}
+}
+
+// noteCommitLocked advances rank r's clean-commit streak and grows its
+// speculation window additively once a full clean batch has committed.
+// The automaton's progress broadcast re-checks any rank parked on a
+// window stall, so a grow can release it.
+func (o *optState) noteCommitLocked(r int) {
+	o.streak[r]++
+	if o.streak[r] < specGrowBatch {
+		return
+	}
+	o.streak[r] = 0
+	nw := o.win[r] + specGrowStep
+	if nw > o.winMax {
+		nw = o.winMax
+	}
+	if nw == o.win[r] {
+		return
+	}
+	o.win[r] = nw
+	o.stats.WindowGrows++
+	if uint64(nw) > o.stats.WindowMax {
+		o.stats.WindowMax = uint64(nw)
+	}
 }
 
 // reqUndo snapshots the mutable fields of one request for rollback.
@@ -231,6 +372,10 @@ type specUndo struct {
 	events tau.EventsCheckpoint
 	reqs   []reqUndo
 	taken  []*message
+	// contrib is the contribution set a speculative collective consumed,
+	// recorded so a conflicting commit-order replay re-derives the exact
+	// result from the same inputs instead of trusting speculative state.
+	contrib [][]float64
 }
 
 // specCheckpointLocked records the rank's rollback point. Caller holds the
@@ -322,16 +467,17 @@ func (o *optState) appendLocked(rank int, ev *specEvent) {
 	o.streams[rank] = append(o.streams[rank], ev)
 }
 
-// windowWaitLocked parks the rank while its stream is specWindow events
-// ahead of the commit frontier.
+// windowWaitLocked parks the rank while its stream is a full speculation
+// window ahead of the commit frontier. The predicate re-reads the rank's
+// window, so an adaptive grow can release a stalled rank.
 func (o *optState) windowWaitLocked(rank int) {
-	if len(o.streams[rank])-o.pos[rank] < o.window {
+	if len(o.streams[rank])-o.pos[rank] < o.win[rank] {
 		return
 	}
 	o.stats.WindowStalls++
 	o.w.rankTrack(rank).Instant("spec", "window stall")
 	o.w.optParkLocked(rank, blockDesc{op: "speculation window"}, func() bool {
-		return len(o.streams[rank])-o.pos[rank] < o.window
+		return len(o.streams[rank])-o.pos[rank] < o.win[rank]
 	})
 }
 
@@ -493,9 +639,15 @@ func (o *optState) consumeSegmentLocked(r int) bool {
 			o.cur = -1
 			return progressed
 		}
+		conflicted := ev.state == esConflict
 		o.streams[r][o.pos[r]] = nil // release committed events for GC
 		o.pos[r]++
 		o.stats.CommittedOps++
+		if conflicted {
+			o.streak[r] = 0
+		} else {
+			o.noteCommitLocked(r)
+		}
 		progressed = true
 	}
 	if o.finished[r] {
@@ -586,18 +738,65 @@ func (o *optState) processCollLocked(ev *specEvent) bool {
 		ev.collJoined = true
 		if cs.arrived == len(c.group) {
 			c.completeCollectiveLocked(cs)
+			o.noteCommitDrawLocked()
 		}
 	}
 	if cs.gen <= ev.collGen {
 		return false // parked until the collective's last member arrives
 	}
-	ev.collLeave = cs.lastLeave
-	if cs.lastResult != nil {
-		ev.collRes = cs.lastResult[c.rank]
+	switch {
+	case ev.collSpec && ev.collRunAhead:
+		// The rank already ran ahead on this completion, which is exact by
+		// construction; a mismatch means the draw-alignment proof is
+		// broken, not a race a rollback could repair.
+		if ev.collLeave != cs.lastLeave {
+			panic(fmt.Sprintf("mpi: optimistic scheduler invariant violation: rank %d %s ran ahead on speculative leave t=%.6fus but committed leave is t=%.6fus",
+				ev.rank, ev.op, ev.collLeave, cs.lastLeave))
+		}
+		o.stats.SpecCollHits++
+		ev.state = esResolved
+	case ev.collSpec:
+		// Verdict for a parked speculative completion: the results are a
+		// pure function of the (identical) contribution set, so the leave
+		// time — the only value carrying the provisional cost draw — is
+		// the whole verdict.
+		if ev.collLeave == cs.lastLeave {
+			o.stats.SpecCollHits++
+			ev.state = esResolved
+			break
+		}
+		o.stats.Conflicts++
+		o.w.rankTrack(ev.rank).Instant("spec", "conflict", obs.Arg{Name: "op", Value: ev.op})
+		ev.collLeave = cs.lastLeave
+		if cs.lastResult != nil {
+			ev.collRes = cs.lastResult[c.rank]
+		}
+		ev.collID = cs.lastID
+		ev.state = esConflict
+	default:
+		ev.collLeave = cs.lastLeave
+		if cs.lastResult != nil {
+			ev.collRes = cs.lastResult[c.rank]
+		}
+		ev.collID = cs.lastID
+		ev.state = esResolved
 	}
-	ev.collID = cs.lastID
-	ev.state = esResolved
 	return true
+}
+
+// noteCommitDrawLocked records a committed collective completion's cost
+// draw and advances the speculative mirror RNG past completions it never
+// drew for (Dup/Create and other unspeculated generations), keeping
+// specRng aligned with the committed w.rng stream.
+func (o *optState) noteCommitDrawLocked() {
+	if o.w.cfg.Net.NoiseSigma <= 0 {
+		return // the cost is deterministic: neither RNG consumes a draw
+	}
+	o.commitDraws++
+	for o.specDraws < o.commitDraws {
+		o.specRng.NormFloat64()
+		o.specDraws++
+	}
 }
 
 // processRecvLocked validates a recorded receive (Recv/Wait/Waitall): it
@@ -807,6 +1006,7 @@ func (c *Comm) optCompleteRecvs(op string, reqs []*Request) {
 	c.r.rollbackLocked(undo)
 	o.stats.Rollbacks++
 	o.stats.ReexecutedUS += reexec
+	o.shrinkWindowLocked(rank)
 	w.rankTrack(rank).Instant("spec", "rollback", obs.Arg{Name: "reexec_us", Value: reexec})
 	for i := range ev.slots {
 		s := &ev.slots[i]
@@ -910,6 +1110,7 @@ func (c *Comm) optWaitsome(reqs []*Request) []int {
 	c.r.rollbackLocked(undo)
 	o.stats.Rollbacks++
 	o.stats.ReexecutedUS += reexec
+	o.shrinkWindowLocked(rank)
 	w.rankTrack(rank).Instant("spec", "rollback", obs.Arg{Name: "reexec_us", Value: reexec})
 	out = out[:0]
 	for i := range ev.slots {
@@ -925,10 +1126,14 @@ func (c *Comm) optWaitsome(reqs []*Request) []int {
 	return out
 }
 
-// optCollective records the rank's arrival at a collective and parks until
-// the automaton has replayed every member's arrival in the committed order
-// — collectives draw from the shared world RNG, so their completion is
-// strictly commit-ordered.
+// optCollective records the rank's arrival at a collective. When every
+// peer's contribution is already published the collective completes
+// speculatively (specCollCompleteLocked): a provably exact completion
+// lets the rank run ahead without waiting for the commit automaton, an
+// uncertain one parks it under an undo log — holding the contribution set
+// — for the commit replay's verdict, rolling back exactly on a mismatch.
+// Otherwise the rank parks until the automaton has replayed every
+// member's arrival in the committed order.
 func (c *Comm) optCollective(kind collKind, data []float64, root int, op Op) ([]float64, int) {
 	w := c.world
 	rank := c.r.rank
@@ -944,10 +1149,154 @@ func (c *Comm) optCollective(kind collKind, data []float64, root int, op Op) ([]
 		kind: evColl, rank: rank, op: "MPI_" + kind.String() + "()", comm: c,
 		clock: c.r.Proc.Now(), collKind: kind, collRoot: root, collOp: op, contrib: contrib,
 	}
+	o.specCollArriveLocked(c, ev)
 	o.appendLocked(rank, ev)
-	w.optParkLocked(rank, blockDesc{op: ev.op, comm: c.id}, func() bool { return ev.state == esResolved })
+	w.optParkLocked(rank, blockDesc{op: ev.op, comm: c.id}, func() bool {
+		return ev.state == esResolved || ev.collSpec
+	})
+	if ev.state == esResolved || ev.collRunAhead {
+		// Committed truth, or an exact speculative completion the rank may
+		// run ahead on without a verdict.
+		if ev.state != esResolved {
+			o.stats.PipelinedOps++
+		}
+		c.r.Proc.SyncTo(ev.collLeave)
+		return ev.collRes, ev.collID
+	}
+	if ev.state == esConflict {
+		// The automaton rejected the speculative completion while we were
+		// still parked: nothing speculative was ever applied to the rank,
+		// so take the committed truth directly.
+		ev.state = esResolved
+		c.r.Proc.SyncTo(ev.collLeave)
+		return ev.collRes, ev.collID
+	}
+	// Speculative completion with an unpinned cost draw: checkpoint with
+	// the contribution set recorded in the undo log, tentatively take the
+	// speculative leave time, and park for the automaton's verdict.
+	undo := c.r.specCheckpointLocked(nil)
+	undo.contrib = ev.collSpecContrib
+	o.stats.SpeculatedOps++
+	w.rankTrack(rank).Instant("spec", "speculate", obs.Arg{Name: "op", Value: ev.op})
 	c.r.Proc.SyncTo(ev.collLeave)
+	w.optParkLocked(rank, blockDesc{op: ev.op, comm: c.id}, func() bool { return ev.state != esPending })
+	if ev.state == esConflict {
+		reexec := c.r.Proc.Now() - undo.proc.Clock
+		c.r.rollbackLocked(undo)
+		o.stats.Rollbacks++
+		o.stats.SpecCollRollbacks++
+		o.stats.ReexecutedUS += reexec
+		o.shrinkWindowLocked(rank)
+		w.rankTrack(rank).Instant("spec", "rollback", obs.Arg{Name: "reexec_us", Value: reexec})
+		// Re-execute from the committed truth: the contribution set in the
+		// undo log re-derives the exact result (only the cost draw could
+		// mismatch); the committed leave time replaces the predicted one.
+		if res, _ := collResults(ev.collKind, ev.collOp, ev.collRoot, len(c.group), undo.contrib); res[c.rank] != nil {
+			ev.collRes = res[c.rank]
+		}
+		ev.state = esResolved
+		c.r.Proc.SyncTo(ev.collLeave)
+	}
 	return ev.collRes, ev.collID
+}
+
+// specCollArriveLocked records a collective arrival in the speculative
+// mirror; when ev completes its generation's membership the mirror closes
+// the generation, possibly speculatively (specCollCompleteLocked).
+func (o *optState) specCollArriveLocked(c *Comm, ev *specEvent) {
+	mir := o.mirror[c.id]
+	if mir == nil {
+		mir = &specCollMirror{}
+		o.mirror[c.id] = mir
+	}
+	if mir.arrived == 0 {
+		mir.kind, mir.op, mir.root = ev.collKind, ev.collOp, ev.collRoot
+		mir.tmax = 0
+		mir.contrib = make([][]float64, len(c.group))
+		mir.events = mir.events[:0]
+		mir.mismatch = false
+	} else if mir.kind != ev.collKind || mir.root != ev.collRoot {
+		// A program error; the commit replay raises the canonical panic.
+		mir.mismatch = true
+	}
+	mir.arrived++
+	if ev.clock > mir.tmax {
+		mir.tmax = ev.clock
+	}
+	if ev.contrib != nil {
+		mir.contrib[c.rank] = ev.contrib
+	}
+	mir.events = append(mir.events, ev)
+	if mir.arrived == len(c.group) {
+		o.specCollCompleteLocked(c, mir)
+	}
+}
+
+// specCollCompleteLocked closes the mirror's current generation at its
+// last arrival, when the full contribution set is published. Data
+// collectives complete speculatively: the results are a pure function of
+// the contribution set, and the leave time adds a cost draw from the
+// mirror RNG. The completion is provably exact — members run ahead of the
+// commit automaton — when the cost consumes no draw (NoiseSigma <= 0) or
+// when the draw's commit-order index is pinned: a full-membership
+// communicator (whose evColl events block every rank's stream behind this
+// generation), every other communicator speculatively quiescent, and
+// every speculated-but-uncommitted completion an earlier generation of
+// this same communicator (the draw-count equality). Otherwise the draw is
+// a provisional guess and members park for the commit verdict. Dup and
+// Create allocate a communicator id — order-sensitive shared state — and
+// stay strictly commit-ordered.
+func (o *optState) specCollCompleteLocked(c *Comm, mir *specCollMirror) {
+	w := o.w
+	kind, op, root, tmax := mir.kind, mir.op, mir.root, mir.tmax
+	contrib, events, mismatch := mir.contrib, mir.events, mir.mismatch
+	committedGen := uint64(0)
+	if cs := w.colls[c.id]; cs != nil {
+		committedGen = cs.gen
+	}
+	genAhead := mir.gen - committedGen
+	mir.gen++
+	mir.arrived = 0
+	mir.contrib = nil
+	mir.events = nil
+	if mismatch || kind == collDup || kind == collCreate {
+		return
+	}
+	exact := true
+	if w.cfg.Net.NoiseSigma > 0 {
+		exact = len(c.group) == w.cfg.Procs && o.specDraws == o.commitDraws+genAhead
+		if exact {
+			// Order-independent boolean fold over the mirror: exact only if
+			// every other communicator is speculatively quiescent.
+			for id, m := range o.mirror {
+				if id == c.id {
+					continue
+				}
+				mgen := uint64(0)
+				if cs := w.colls[id]; cs != nil {
+					mgen = cs.gen
+				}
+				if m.gen != mgen || m.arrived != 0 {
+					exact = false
+					break
+				}
+			}
+		}
+	}
+	results, bytes := collResults(kind, op, root, len(c.group), contrib)
+	cost := w.cfg.Net.Collective(kind.netKind(), len(c.group), bytes, o.specRng)
+	if w.cfg.Net.NoiseSigma > 0 {
+		o.specDraws++
+	}
+	leave := tmax + cost
+	for _, mev := range events {
+		mev.collRunAhead = exact
+		mev.collLeave = leave
+		mev.collRes = results[mev.comm.rank]
+		mev.collSpecContrib = contrib
+		mev.collSpec = true
+	}
+	w.cond.Broadcast()
 }
 
 // optKeyvalCreate records an id allocation and parks until the automaton

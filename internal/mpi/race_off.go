@@ -1,0 +1,7 @@
+//go:build !race
+
+package mpi
+
+// raceEnabled reports whether this build runs under the race detector;
+// see race_on.go.
+const raceEnabled = false

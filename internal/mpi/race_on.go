@@ -1,0 +1,9 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether this build runs under the race detector.
+// The heavyweight stress grids trim themselves when it is on: the
+// detector multiplies both memory and runtime by small constants, and CI
+// runs the full grids in the regular test job anyway.
+const raceEnabled = true

@@ -1,0 +1,145 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the wildcard rollback stress grid (ROADMAP item d): a
+// property-style corpus sweeping rank count x wildcard density under the
+// optimistic scheduler with a deliberately tight adaptive window, so the
+// rollback, re-execution and window-shrink machinery runs constantly
+// while byte-identity to the serial scheduler is asserted at every grid
+// point. The grid trims itself under the race detector (raceEnabled);
+// CI's regular test job runs it in full.
+
+// runTracedSpec is runTraced plus the world's speculation telemetry.
+func runTracedSpec(t *testing.T, cfg WorldConfig, body func(r *Rank, log *[]string)) (worldTrace, SpecStats) {
+	t.Helper()
+	w := NewWorld(cfg)
+	tr := worldTrace{log: make([][]string, cfg.Procs)}
+	err := w.Run(func(r *Rank) {
+		body(r, &tr.log[r.Rank()])
+	})
+	if err != nil {
+		t.Fatalf("sched=%v: %v", cfg.Sched, err)
+	}
+	for _, r := range w.Ranks() {
+		tr.clocks = append(tr.clocks, r.Proc.Now())
+		tr.counters = append(tr.counters, fmt.Sprintf("%+v", r.Proc.Counters()))
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(r.Prof); err != nil {
+			t.Fatal(err)
+		}
+		tr.profiles = append(tr.profiles, buf.Bytes())
+	}
+	return tr, w.SpecStats()
+}
+
+// wildcardStressBody builds a hub-and-spokes pattern whose wildcard share
+// is tunable: every peer sends `rounds` messages to rank 0, a
+// density-controlled fraction of them tagged into a wildcard pool (tag 0,
+// drained by Recv(AnySource, ...)) and the rest tagged per-sequence for
+// specific-source receives. The two tag classes cannot steal from each
+// other, so every density is deadlock-free, while the wildcard drains are
+// exactly the speculative matches the commit automaton must validate —
+// and roll back — against serial arrival order. Skewed sender clocks plus
+// network noise make conflicting speculation routine, and a closing
+// Allreduce exercises the speculative-collective path in the same run.
+func wildcardStressBody(seed int64, p int, density float64) func(r *Rank, log *[]string) {
+	const rounds = 6
+	wc := int(density * rounds)
+	return func(r *Rank, log *[]string) {
+		me := r.Rank()
+		rng := rand.New(rand.NewSource(seed ^ int64(me)*0x9e3779b9))
+		if me == 0 {
+			buf := make([]float64, 16)
+			// Interleave the wildcard pool and the specific receives in a
+			// seed-derived (scheduler-independent) order.
+			type rx struct{ src, tag int }
+			var plan []rx
+			for s := 1; s < p; s++ {
+				for j := 0; j < wc; j++ {
+					plan = append(plan, rx{AnySource, 0})
+				}
+				for j := wc; j < rounds; j++ {
+					plan = append(plan, rx{s, 1000 + j})
+				}
+			}
+			rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
+			for _, rc := range plan {
+				n := r.Comm.Recv(rc.src, rc.tag, buf)
+				*log = append(*log, fmt.Sprintf("n=%d v=%.6f@%.3f", n, buf[0], r.Proc.Now()))
+			}
+		} else {
+			for j := 0; j < rounds; j++ {
+				r.Proc.Advance(rng.Float64() * 250)
+				k := rng.Intn(12) + 1
+				payload := make([]float64, k)
+				for i := range payload {
+					payload[i] = float64(me*1000+j*10) + rng.Float64()
+				}
+				tag := 0
+				if j >= wc {
+					tag = 1000 + j
+				}
+				r.Comm.Send(0, tag, payload)
+			}
+		}
+		sum := r.Comm.Allreduce(OpSum, []float64{r.Proc.Now()})
+		*log = append(*log, fmt.Sprintf("sum=%.6f", sum[0]))
+	}
+}
+
+// TestWildcardRollbackStressGrid sweeps rank count x wildcard density and
+// asserts, at every grid point, that the optimistic scheduler under a
+// tight adaptive window reproduces the serial trace bit for bit. The
+// logged conflict and rollback rates document how speculation failure
+// scales with both axes — the data behind ROADMAP item (d).
+func TestWildcardRollbackStressGrid(t *testing.T) {
+	ranks := []int{2, 4, 8}
+	densities := []float64{0, 0.5, 1}
+	seeds := []int64{1, 7, 40}
+	if raceEnabled {
+		// The detector multiplies runtime ~10x; keep one column of each
+		// axis so the -race job still crosses every code path.
+		ranks = []int{4}
+		densities = []float64{1}
+		seeds = seeds[:1]
+	}
+	for _, p := range ranks {
+		for _, density := range densities {
+			p, density := p, density
+			t.Run(fmt.Sprintf("p%d/wc%.0f%%", p, density*100), func(t *testing.T) {
+				t.Parallel()
+				for _, seed := range seeds {
+					body := wildcardStressBody(seed, p, density)
+					cfg := testConfig(p)
+					cfg.Net.NoiseSigma = 0.35
+					serial := runTraced(t, cfg, body)
+
+					opt := cfg
+					opt.Sched = OptimisticParallel
+					// A tight adaptive window keeps the shrink/grow control
+					// loop hot instead of letting speculation run away.
+					opt = opt.WithSpecWindow(8, 128)
+					tr, stats := runTracedSpec(t, opt, body)
+					assertTracesEqual(t, serial, tr)
+
+					ops := stats.SpeculatedOps + stats.PipelinedOps
+					if ops == 0 {
+						ops = 1
+					}
+					t.Logf("seed=%d p=%d density=%.2f: spec=%d pipelined=%d conflicts=%d (%.1f%%) rollbacks=%d window=[%d,%d] shrinks=%d grows=%d",
+						seed, p, density, stats.SpeculatedOps, stats.PipelinedOps,
+						stats.Conflicts, float64(stats.Conflicts)/float64(ops)*100,
+						stats.Rollbacks, stats.WindowMin, stats.WindowMax,
+						stats.WindowShrinks, stats.WindowGrows)
+				}
+			})
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -178,6 +179,16 @@ type WorldConfig struct {
 	// parallel schedulers. Zero means no cap (the Go runtime's GOMAXPROCS
 	// governs actual parallelism); it is ignored by the serial scheduler.
 	MaxParallelRanks int
+	// SpecWindowMin and SpecWindowMax bound the optimistic scheduler's
+	// per-rank adaptive speculation window: each rank's window starts at
+	// SpecWindowMax, halves (never below SpecWindowMin) whenever the rank
+	// rolls back, and grows back additively after clean commit batches.
+	// Both zero (the default) keeps the fixed 4096-event window, so
+	// existing scenario keys and checkpoint hashes stay byte-identical;
+	// set both (0 < min <= max) to enable adaptation. min == max pins a
+	// fixed window of that size. Ignored outside OptimisticParallel.
+	SpecWindowMin int
+	SpecWindowMax int
 }
 
 // legacyWorldConfig mirrors WorldConfig's pre-Tune field set. GoString
@@ -214,6 +225,9 @@ func (c WorldConfig) GoString() string {
 	if c.MaxParallelRanks != 0 {
 		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", MaxParallelRanks:%d}", c.MaxParallelRanks)
 	}
+	if c.SpecWindowMin != 0 || c.SpecWindowMax != 0 {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(", SpecWindowMin:%d, SpecWindowMax:%d}", c.SpecWindowMin, c.SpecWindowMax)
+	}
 	return s
 }
 
@@ -234,6 +248,15 @@ func (c WorldConfig) Validate() error {
 	}
 	if c.Tune.ClockScale < 0 || c.Tune.HitScale < 0 || c.Tune.MissScale < 0 {
 		return fmt.Errorf("mpi: invalid world config: negative CPU tune multiplier %+v", c.Tune)
+	}
+	if c.SpecWindowMin < 0 || c.SpecWindowMax < 0 {
+		return fmt.Errorf("mpi: invalid world config: negative speculation window bounds [%d, %d]", c.SpecWindowMin, c.SpecWindowMax)
+	}
+	if (c.SpecWindowMin == 0) != (c.SpecWindowMax == 0) {
+		return fmt.Errorf("mpi: invalid world config: speculation window bounds [%d, %d] (set both or neither)", c.SpecWindowMin, c.SpecWindowMax)
+	}
+	if c.SpecWindowMin > c.SpecWindowMax {
+		return fmt.Errorf("mpi: invalid world config: speculation window bounds [%d, %d] (min must not exceed max)", c.SpecWindowMin, c.SpecWindowMax)
 	}
 	return nil
 }
@@ -263,6 +286,46 @@ func (c WorldConfig) WithScheduler(mode SchedulerMode, n int) WorldConfig {
 		c.MaxParallelRanks = 0
 	}
 	return c
+}
+
+// WithSpecWindow returns the config with the optimistic scheduler's
+// adaptive speculation window bounded to [min, max] recorded events per
+// rank, the shape the -specwindow command-line flag uses. min == max pins
+// a fixed window of that size; 0, 0 restores the default fixed
+// 4096-event window. The window only changes wall-clock behavior —
+// results stay bit-identical — but a non-default window salts the
+// checkpoint hash like the other non-serial knobs.
+func (c WorldConfig) WithSpecWindow(min, max int) WorldConfig {
+	c.SpecWindowMin, c.SpecWindowMax = min, max
+	return c
+}
+
+// ParseSpecWindow parses a -specwindow flag value: "min:max" bounds the
+// adaptive window, a single positive integer pins a fixed window of that
+// size, and "" or "0" keeps the default fixed 4096-event window.
+func ParseSpecWindow(s string) (min, max int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	bad := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("mpi: invalid speculation window %q (want \"min:max\", a fixed size, or 0)", s)
+	}
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		min, err1 := strconv.Atoi(lo)
+		max, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || min <= 0 || max < min {
+			return bad()
+		}
+		return min, max, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return bad()
+	}
+	if v == 0 {
+		return 0, 0, nil
+	}
+	return v, v, nil
 }
 
 // DefaultConfig returns the paper-calibrated 3-rank world.
@@ -390,16 +453,20 @@ type World struct {
 // worldMetrics caches the registry instruments a world records into.
 // The zero value (all nil) makes every update a no-op.
 type worldMetrics struct {
-	worlds       *obs.Counter
-	grants       *obs.Counter
-	specPub      *obs.Counter
-	specPipe     *obs.Counter
-	specOps      *obs.Counter
-	specCommit   *obs.Counter
-	conflicts    *obs.Counter
-	rollbacks    *obs.Counter
-	windowStalls *obs.Counter
-	reexecUS     *obs.Histogram
+	worlds        *obs.Counter
+	grants        *obs.Counter
+	specPub       *obs.Counter
+	specPipe      *obs.Counter
+	specOps       *obs.Counter
+	specCommit    *obs.Counter
+	conflicts     *obs.Counter
+	rollbacks     *obs.Counter
+	windowStalls  *obs.Counter
+	windowGrows   *obs.Counter
+	windowShrinks *obs.Counter
+	collHits      *obs.Counter
+	collRollbacks *obs.Counter
+	reexecUS      *obs.Histogram
 }
 
 // worldSeq numbers observed worlds so their trace tracks stay distinct
@@ -507,16 +574,20 @@ func NewWorld(cfg WorldConfig) *World {
 		}
 		reg := o.Metrics()
 		w.met = worldMetrics{
-			worlds:       reg.Counter("mpi_worlds_total"),
-			grants:       reg.Counter("mpi_token_grants_total"),
-			specPub:      reg.Counter("mpi_spec_published_sends_total"),
-			specPipe:     reg.Counter("mpi_spec_pipelined_ops_total"),
-			specOps:      reg.Counter("mpi_spec_speculated_ops_total"),
-			specCommit:   reg.Counter("mpi_spec_committed_ops_total"),
-			conflicts:    reg.Counter("mpi_spec_conflicts_total"),
-			rollbacks:    reg.Counter("mpi_spec_rollbacks_total"),
-			windowStalls: reg.Counter("mpi_spec_window_stalls_total"),
-			reexecUS:     reg.Histogram("mpi_spec_reexecuted_us", obs.LatencyBucketsUS),
+			worlds:        reg.Counter("mpi_worlds_total"),
+			grants:        reg.Counter("mpi_token_grants_total"),
+			specPub:       reg.Counter("mpi_spec_published_sends_total"),
+			specPipe:      reg.Counter("mpi_spec_pipelined_ops_total"),
+			specOps:       reg.Counter("mpi_spec_speculated_ops_total"),
+			specCommit:    reg.Counter("mpi_spec_committed_ops_total"),
+			conflicts:     reg.Counter("mpi_spec_conflicts_total"),
+			rollbacks:     reg.Counter("mpi_spec_rollbacks_total"),
+			windowStalls:  reg.Counter("mpi_spec_window_stalls_total"),
+			windowGrows:   reg.Counter("mpi_spec_window_grows_total"),
+			windowShrinks: reg.Counter("mpi_spec_window_shrinks_total"),
+			collHits:      reg.Counter("mpi_spec_coll_hits_total"),
+			collRollbacks: reg.Counter("mpi_spec_coll_rollbacks_total"),
+			reexecUS:      reg.Histogram("mpi_spec_reexecuted_us", obs.LatencyBucketsUS),
 		}
 	}
 	return w
@@ -657,6 +728,10 @@ func (w *World) Run(body func(*Rank)) error {
 			w.met.conflicts.Add(s.Conflicts)
 			w.met.rollbacks.Add(s.Rollbacks)
 			w.met.windowStalls.Add(s.WindowStalls)
+			w.met.windowGrows.Add(s.WindowGrows)
+			w.met.windowShrinks.Add(s.WindowShrinks)
+			w.met.collHits.Add(s.SpecCollHits)
+			w.met.collRollbacks.Add(s.SpecCollRollbacks)
 			w.met.reexecUS.Observe(s.ReexecutedUS)
 		}
 	}
@@ -878,6 +953,8 @@ func (w *World) deadlockReportLocked() string {
 		s := w.o.stats
 		fmt.Fprintf(&sb, "  optimistic speculation: %d sends published, %d ops pipelined, %d speculated, %d committed, %d conflicts, %d rollbacks, %.3fus re-executed, %d window stalls\n",
 			s.PublishedSends, s.PipelinedOps, s.SpeculatedOps, s.CommittedOps, s.Conflicts, s.Rollbacks, s.ReexecutedUS, s.WindowStalls)
+		fmt.Fprintf(&sb, "  speculation window: %d..%d observed (%d grows, %d shrinks); speculative collectives: %d hits, %d rollbacks\n",
+			s.WindowMin, s.WindowMax, s.WindowGrows, s.WindowShrinks, s.SpecCollHits, s.SpecCollRollbacks)
 	}
 	return sb.String()
 }

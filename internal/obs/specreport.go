@@ -1,0 +1,159 @@
+package obs
+
+// Speculation report: aggregate the optimistic scheduler's per-scenario
+// telemetry shards (the "spec/..." rows the harness emits next to every
+// non-serial sweep job) into one table — conflict and rollback rates plus
+// the adaptive window's observed range per scenario. This is the
+// run-level view the per-world SpecStats counters cannot give: one line
+// per grid scenario, read back from the rows directory a campaign left
+// behind, with no re-execution.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpecShardPrefix is the file-name prefix of a speculation telemetry
+// shard: the harness emits them under keys "spec/<job>", which the CSV
+// shard sink sanitizes to "spec_<job>-<hash>.csv".
+const SpecShardPrefix = "spec_"
+
+// SpecScenario is one scenario's parsed speculation telemetry row.
+type SpecScenario struct {
+	// Scenario is the shard's sanitized scenario name (the "spec_" prefix
+	// and the sink's hash suffix stripped).
+	Scenario string
+	// Sched is the scheduler mode token the row recorded ("opt", "par").
+	Sched string
+	// Procs is the scenario's rank count.
+	Procs int64
+
+	SpeculatedOps     int64
+	PipelinedOps      int64
+	Conflicts         int64
+	Rollbacks         int64
+	WindowMin         int64
+	WindowMax         int64
+	SpecCollHits      int64
+	SpecCollRollbacks int64
+	ConflictRate      float64
+	RollbackRate      float64
+}
+
+// ReadSpecShards parses every speculation shard under a campaign's rows
+// directory into one SpecScenario per data row. Shards written before the
+// window telemetry existed parse with those columns zero; files matching
+// the prefix that are not valid CSV fail loudly rather than vanish from
+// the report.
+func ReadSpecShards(dir string) ([]SpecScenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, SpecShardPrefix+"*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []SpecScenario
+	for _, path := range paths {
+		scens, err := readSpecShard(path)
+		if err != nil {
+			return nil, fmt.Errorf("obs: %s: %w", path, err)
+		}
+		out = append(out, scens...)
+	}
+	return out, nil
+}
+
+// specShardScenario recovers the scenario name from a shard file name:
+// "spec_states_opt_r0-1a2b3c4d.csv" -> "states_opt_r0".
+func specShardScenario(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), ".csv")
+	name = strings.TrimPrefix(name, SpecShardPrefix)
+	// The sink appends "-<8 hex>" whenever sanitization changed the key,
+	// which it always did for "spec/..." keys (the slash).
+	if i := strings.LastIndex(name, "-"); i > 0 && len(name)-i-1 == 8 {
+		if _, err := strconv.ParseUint(name[i+1:], 16, 32); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+func readSpecShard(path string) ([]SpecScenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	records, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, nil // header only, or empty: nothing to report
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	scenario := specShardScenario(path)
+	var out []SpecScenario
+	for _, rec := range records[1:] {
+		str := func(name string) string {
+			if i, ok := col[name]; ok && i < len(rec) {
+				return rec[i]
+			}
+			return ""
+		}
+		num := func(name string) int64 {
+			v, _ := strconv.ParseInt(str(name), 10, 64)
+			return v
+		}
+		flt := func(name string) float64 {
+			v, _ := strconv.ParseFloat(str(name), 64)
+			return v
+		}
+		out = append(out, SpecScenario{
+			Scenario:          scenario,
+			Sched:             str("sched"),
+			Procs:             num("procs"),
+			SpeculatedOps:     num("speculated_ops"),
+			PipelinedOps:      num("pipelined_ops"),
+			Conflicts:         num("conflicts"),
+			Rollbacks:         num("rollbacks"),
+			WindowMin:         num("window_min"),
+			WindowMax:         num("window_max"),
+			SpecCollHits:      num("spec_coll_hits"),
+			SpecCollRollbacks: num("spec_coll_rollbacks"),
+			ConflictRate:      flt("conflict_rate"),
+			RollbackRate:      flt("rollback_rate"),
+		})
+	}
+	return out, nil
+}
+
+// WriteSpecReport renders the per-scenario speculation summary table.
+func WriteSpecReport(w io.Writer, scens []SpecScenario) error {
+	if len(scens) == 0 {
+		_, err := fmt.Fprintln(w, "  no speculation shards (serial-only run, or rows directory without spec_* files)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-44s %-6s %5s %9s %9s %9s %9s %12s %10s\n",
+		"scenario", "sched", "procs", "spec-ops", "conflicts", "rollbacks", "window", "spec-coll", "rates"); err != nil {
+		return err
+	}
+	for _, s := range scens {
+		if _, err := fmt.Fprintf(w, "  %-44s %-6s %5d %9d %9d %9d %4d..%-4d %5d/%-6d %4.1f%%/%4.1f%%\n",
+			s.Scenario, s.Sched, s.Procs, s.SpeculatedOps, s.Conflicts, s.Rollbacks,
+			s.WindowMin, s.WindowMax, s.SpecCollHits, s.SpecCollRollbacks,
+			s.ConflictRate*100, s.RollbackRate*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeShard(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSpecShards(t *testing.T) {
+	dir := t.TempDir()
+	writeShard(t, dir, "spec_states_opt_r0-1a2b3c4d.csv",
+		"sched,procs,published_sends,pipelined_ops,speculated_ops,committed_ops,conflicts,rollbacks,window_stalls,window_grows,window_shrinks,window_min,window_max,spec_coll_hits,spec_coll_rollbacks,reexecuted_us,conflict_rate,rollback_rate\n"+
+			"opt,4,10,20,40,60,8,6,1,2,3,256,4096,12,1,99.5,0.2,0.15\n")
+	// A pre-window-telemetry shard: the new columns parse as zero.
+	writeShard(t, dir, "spec_states_par_r0-ffffffff.csv",
+		"sched,procs,published_sends,pipelined_ops,speculated_ops,committed_ops,conflicts,rollbacks,window_stalls,reexecuted_us,conflict_rate,rollback_rate\n"+
+			"par,4,0,0,0,0,0,0,0,0,0,0\n")
+	// Header-only shards and non-spec files are skipped.
+	writeShard(t, dir, "spec_empty-00000000.csv", "sched,procs\n")
+	writeShard(t, dir, "states_opt_r0-12345678.csv", "rank,q\n0,100\n")
+
+	scens, err := ReadSpecShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 2 {
+		t.Fatalf("got %d scenarios, want 2: %+v", len(scens), scens)
+	}
+	s := scens[0]
+	if s.Scenario != "states_opt_r0" {
+		t.Errorf("scenario = %q, want states_opt_r0", s.Scenario)
+	}
+	if s.Sched != "opt" || s.Procs != 4 || s.SpeculatedOps != 40 ||
+		s.Conflicts != 8 || s.Rollbacks != 6 ||
+		s.WindowMin != 256 || s.WindowMax != 4096 ||
+		s.SpecCollHits != 12 || s.SpecCollRollbacks != 1 ||
+		s.ConflictRate != 0.2 || s.RollbackRate != 0.15 {
+		t.Errorf("parsed scenario mismatch: %+v", s)
+	}
+	old := scens[1]
+	if old.Scenario != "states_par_r0" || old.WindowMin != 0 || old.WindowMax != 0 {
+		t.Errorf("legacy shard mismatch: %+v", old)
+	}
+}
+
+func TestWriteSpecReport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSpecReport(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no speculation shards") {
+		t.Errorf("empty report = %q", sb.String())
+	}
+	sb.Reset()
+	scens := []SpecScenario{{
+		Scenario: "states_opt_r0", Sched: "opt", Procs: 4,
+		SpeculatedOps: 40, Conflicts: 8, Rollbacks: 6,
+		WindowMin: 256, WindowMax: 4096, SpecCollHits: 12,
+		ConflictRate: 0.2, RollbackRate: 0.15,
+	}}
+	if err := WriteSpecReport(&sb, scens); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"states_opt_r0", "opt", "256..4096", "20.0%/15.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
