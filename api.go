@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/results"
+	"repro/internal/results/serve"
 	"repro/internal/results/store"
 	"repro/internal/results/store/lease"
 )
@@ -111,6 +112,17 @@ type (
 	AggSink = results.AggSink
 	// CSVShardSink writes one CSV shard file per result key.
 	CSVShardSink = results.CSVShardSink
+	// BinShardSink writes one binary row shard per result key — the
+	// compact, byte-deterministic sibling of the CSV shards, preferred by
+	// the results service.
+	BinShardSink = results.BinShardSink
+	// ResultsService answers performance-model queries (predict, trend,
+	// scenario lookup) over a finished campaign's rows directory through a
+	// read-through model cache. cmd/resultsd is this type behind a listener.
+	ResultsService = serve.Service
+	// ResultsServiceOptions tunes a ResultsService (cache capacity,
+	// observer).
+	ResultsServiceOptions = serve.Options
 	// Stat is a running aggregate of one numeric field under one key.
 	Stat = results.Stat
 	// CheckpointStore persists finished campaign-job payloads keyed by
@@ -371,6 +383,21 @@ func NewAggSink() *AggSink { return results.NewAggSink() }
 // NewCSVShardSink returns a Sink writing one CSV shard file per key under
 // dir.
 func NewCSVShardSink(dir string) (*CSVShardSink, error) { return results.NewCSVShardSink(dir) }
+
+// NewBinShardSink returns a Sink writing one binary row shard per key
+// under dir. Tee it with a CSV sink to get both formats as siblings.
+func NewBinShardSink(dir string) (*BinShardSink, error) { return results.NewBinShardSink(dir) }
+
+// ReadRowsFile reads one shard file back into rows, dispatching on the
+// extension: ".bin" is the binary row format, anything else CSV.
+func ReadRowsFile(path string) ([]Row, error) { return results.ReadRowsFile(path) }
+
+// NewResultsService opens a campaign rows directory (or a campaign
+// output directory containing rows/) as a query service; its Handler
+// serves the resultsd HTTP API documented in docs/resultsd-api.md.
+func NewResultsService(dir string, opts ResultsServiceOptions) (*ResultsService, error) {
+	return serve.New(dir, opts)
+}
 
 // NewTee returns a Sink fanning every row out to all the given sinks.
 func NewTee(sinks ...Sink) Sink { return results.NewTee(sinks...) }

@@ -77,6 +77,7 @@ func main() {
 		distrib  = flag.Bool("distributed", false, "partition the job set with other -distributed processes sharing the same -cache store via lease files (no coordinator); requires a store")
 		owner    = flag.String("owner", "", "stable worker identity for -distributed lease and audit files (default: host-pid)")
 		ttl      = flag.Duration("leasettl", 0, "lease heartbeat expiry for -distributed; a crashed worker's jobs are stolen after this (0 = 30s default)")
+		rowfmt   = flag.String("rowformat", "csv", "row shard format under <out>/rows: csv | bin | both (bin is the compact binary format resultsd prefers)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		metrics  = flag.String("metrics", "", "serve live /metrics and /trace on this HTTP address while the run executes (e.g. localhost:9090)")
 		metDump  = flag.String("metricsdump", "", "write the final metrics registry in text exposition format to this file")
@@ -177,7 +178,7 @@ func main() {
 	if err := os.RemoveAll(rowsDir); err != nil {
 		fatal(err)
 	}
-	sink, err := results.NewCSVShardSink(rowsDir)
+	sink, err := newRowSink(rowsDir, *rowfmt)
 	if err != nil {
 		fatal(err)
 	}
@@ -241,6 +242,29 @@ func writeTrace(o *obs.Observer, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// newRowSink builds the rows-directory sink for -rowformat: CSV shards,
+// binary shards, or both as siblings (same stems, different extensions —
+// the layout resultsd and obsreport read either side of).
+func newRowSink(dir, format string) (results.Sink, error) {
+	switch format {
+	case "csv":
+		return results.NewCSVShardSink(dir)
+	case "bin":
+		return results.NewBinShardSink(dir)
+	case "both":
+		csvSink, err := results.NewCSVShardSink(dir)
+		if err != nil {
+			return nil, err
+		}
+		binSink, err := results.NewBinShardSink(dir)
+		if err != nil {
+			return nil, err
+		}
+		return results.NewTee(csvSink, binSink), nil
+	}
+	return nil, fmt.Errorf("-rowformat %q: want csv, bin or both", format)
 }
 
 func fatal(err error) {

@@ -1,0 +1,76 @@
+// Command resultsd serves a finished campaign's results as a query
+// service: point it at a rows directory (or a campaign output directory
+// containing one) and it answers performance-model queries over HTTP
+// without re-running a single simulation.
+//
+//	resultsd -dir campaign-out [-addr 127.0.0.1:9190] [-cache 256]
+//
+// Endpoints (all GET, JSON unless noted):
+//
+//	/          service summary: scenario count, axes, backends, endpoints
+//	/healthz   liveness: {"ok": true, "scenarios": N}
+//	/metrics   obs registry text exposition (cache hits/misses, latencies)
+//	/scenarios catalog listing, metadata only — no shard is decoded
+//	/scenario  full detail for matching scenarios: fitted coefficients per
+//	           backend (selectors: name, sched, tag, or any axis value)
+//	/predict   evaluate one measure at a point: scenario, measure, q,
+//	           optional model (fitted|queue), lambda, dcm
+//	/trend     one coefficient-vs-axis curve per fitted parameter across
+//	           the scenarios matching the query
+//
+// The full request/response contract, the error-code table and a curl
+// walkthrough live in docs/resultsd-api.md; the binary row format the
+// service prefers when present is documented in the repository doc.go
+// ("Results service").
+//
+// With -addr 127.0.0.1:0 the kernel picks the port; the chosen address
+// is printed as "resultsd: listening on http://..." so scripts (and the
+// CI serve job) can scrape it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/results/serve"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "campaign rows directory (or a campaign output directory containing rows/)")
+		addr     = flag.String("addr", "127.0.0.1:9190", "listen address; port 0 picks a free port")
+		cacheCap = flag.Int("cache", serve.DefaultCacheCap, "decoded scenarios kept resident in the read-through cache")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("resultsd: -dir required (a campaign rows directory)"))
+	}
+
+	// The service records spans and cache/query counters into this
+	// observer; /metrics exposes the registry.
+	observer := obs.New(obs.Options{})
+	obs.Enable(observer)
+
+	svc, err := serve.New(*dir, serve.Options{CacheCap: *cacheCap, Obs: observer})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("resultsd: %d scenarios from %s\n", len(svc.Catalog().Scenarios()), svc.Catalog().Dir())
+	fmt.Printf("resultsd: listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, svc.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -176,10 +176,12 @@
 //   - a Row is an ordered list of named, typed fields; jobs emit rows
 //     under their campaign key via EmitRow;
 //   - sinks are concurrency-safe and deterministic (rows keep per-key
-//     order): NewCSVShardSink writes one CSV file per key, NewAggSink
-//     keeps running mean/min/max/stddev per (key, field) and drops the
-//     rows, NewMemorySink buffers for tests, NewTee fans out to several
-//     sinks at once;
+//     order): NewCSVShardSink writes one CSV file per key, NewBinShardSink
+//     writes the same rows in the length-prefixed binary shard format
+//     (see "Results service" below), NewAggSink keeps running
+//     mean/min/max/stddev per (key, field) and drops the rows,
+//     NewMemorySink buffers for tests, NewTee fans out to several sinks
+//     at once; ReadRowsFile decodes either shard format back into rows;
 //   - every harness job is checkpointable: with CampaignConfig.Store set
 //     (OpenStore), finished payloads persist content-addressed by
 //     (job key, config hash), so an interrupted campaign — a killed
@@ -239,6 +241,73 @@
 // mode from the command line; hosts x campaign workers x parallel ranks
 // compose multiplicatively.
 //
+// # Results service
+//
+// A finished campaign's rows directory is itself a queryable performance
+// model: cmd/resultsd (internal/results/serve, re-exported here as
+// ResultsService / NewResultsService) serves it over HTTP without
+// re-running a single simulation. Point it at a rows directory — or a
+// campaign output directory containing rows/ — and it fits the paper's
+// regression models on demand:
+//
+//	resultsd -dir campaign-out -addr 127.0.0.1:9190
+//
+// Endpoints (GET only; JSON):
+//
+//   - /          service summary: rows dir, scenarios, axes, backends,
+//     endpoints;
+//   - /healthz   liveness;
+//   - /metrics   obs registry text exposition;
+//   - /scenarios catalog metadata (no shard decoded); optional ?name=;
+//   - /scenario  full detail — rows, fitted coefficients and model
+//     descriptions per backend — for scenarios matching the selectors;
+//   - /predict   evaluate one measure of one scenario at a point;
+//   - /trend     fitted-coefficient-vs-axis curves across the scenarios
+//     matching a filter.
+//
+// The query grammar mirrors the scenario-key grammar: a key like
+// "p4_base_c256kB_cpu1.5x_opt_r0" parses into coordinates on the
+// ranks, cache_kb, cpu_clock (and, when swept, mesh_cells) and rep
+// axes, a scheduler, and free tags (any unrecognized token — "base"
+// above), so /scenario and /trend accept selectors by name ("name="),
+// by scheduler ("sched=serial|par|opt"), by tag ("tag=base") and by
+// numeric axis value ("cache_kb=256", "ranks=4", ...). /predict takes scenario, measure
+// (mean_us, sigma_us, throughput, response_us, utilization), model
+// (fitted — the default — or queue), and the evaluation point: q,
+// optional lambda (arrival rate, 1/s) and dcm (L2 data-cache misses).
+// The fitted backend serves the AIC-selected regression (linear,
+// quadratic or power-law; Eqs. 1-2, plus the multivariate fit over
+// (Q, DCM) when cache counters are present); the queue backend treats
+// the measured service demand as an M/M/1 server (Section 5's queueing
+// view) and answers response_us and utilization from (q, lambda).
+//
+// Scenario shards load through a read-through model cache: first touch
+// decodes the shard and fits every backend, concurrent requests for the
+// same scenario share one load (singleflight), and an LRU bound (-cache,
+// default 256 scenarios) evicts the coldest entry. Hits, misses,
+// evictions and load latency are exported as resultsd_cache_* counters
+// and the resultsd_scenario_load_us histogram on /metrics; failed loads
+// are never cached. The determinism contract extends to the service:
+// responses carry no timestamps, no absolute paths and no map-ordered
+// JSON, so two resultsd instances over byte-identical stores return
+// byte-identical bodies for every request — CI curls a live instance
+// and diffs against the documented examples.
+//
+// Binary row shards are the service's preferred input: NewBinShardSink
+// writes one <key>-<hash>.bin file per campaign key (the same naming as
+// the CSV shards) — magic "RRBS", one version byte, then
+// per row a uvarint body length and a body of uvarint-counted fields
+// (uvarint name length + name, a tag byte, then the value: 1 = int as
+// zigzag varint, 2 = float64 as little-endian IEEE 754 bits, 3 = string
+// as uvarint length + bytes, 4 = bool as one byte). Encoding is a pure
+// function of the rows, so equal rows give byte-identical shards, and a
+// binary shard re-encoded as CSV reproduces the sibling CSV shard byte
+// for byte ("cmd/figures -rowformat csv|bin|both" writes either or
+// both; resultsd and "cmd/obsreport -rows" read both, preferring .bin
+// when a stem has both). The full request/response contract — parameter
+// tables, example bodies, error codes (400/404/405/422) and a curl
+// walkthrough — lives in docs/resultsd-api.md.
+//
 // # Observability
 //
 // The stack observes itself (internal/obs, re-exported here as Observer,
@@ -294,7 +363,7 @@
 // # Static analysis
 //
 // The determinism and responsiveness invariants above are enforced
-// statically, not just by golden tests: internal/lint implements five
+// statically, not just by golden tests: internal/lint implements six
 // repository-specific analyzers in the go/analysis style (self-contained
 // on the standard library — packages load via "go list -export" and the
 // gc export-data importer, so the suite runs offline), and cmd/repolint
@@ -312,7 +381,10 @@
 //     mutex acquired in the same function is held — the lease-heartbeat
 //     starvation bug class;
 //   - obscapture: obs.Active() or instrument lookups inside loops,
-//     violating the capture-at-construction rule above.
+//     violating the capture-at-construction rule above;
+//   - pkgdoc: packages without a package doc comment — the written API
+//     contract (this overview, docs/resultsd-api.md) is anchored in
+//     per-package docs, so an undocumented package fails the lint gate.
 //
 // "go run ./cmd/repolint ./..." must exit 0; CI gates on it. Legitimate
 // exceptions are annotated in place:

@@ -41,7 +41,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -99,10 +102,16 @@ func main() {
 	}
 	fmt.Printf("campaign: %d scenarios on %d workers\n", len(scs), runtime.NumCPU())
 
-	// Streamed results: one CSV shard per scenario plus running aggregates,
-	// checkpointed under a cache directory for cheap re-runs.
+	// Streamed results: one CSV shard per scenario — teed with its compact
+	// binary sibling (same rows, same stems, ".bin" extension; the format
+	// resultsd prefers) — plus running aggregates, checkpointed under a
+	// cache directory for cheap re-runs.
 	outDir := "campaign-out"
 	shards, err := repro.NewCSVShardSink(filepath.Join(outDir, "rows"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	binShards, err := repro.NewBinShardSink(filepath.Join(outDir, "rows"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,7 +122,7 @@ func main() {
 	}
 	cc := repro.CampaignConfig{
 		Store: st,
-		Sink:  repro.NewTee(shards, agg),
+		Sink:  repro.NewTee(shards, binShards, agg),
 		OnProgress: func(e repro.CampaignEvent) {
 			status := "ok"
 			if e.Cached {
@@ -131,6 +140,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := shards.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := binShards.Close(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -187,6 +199,43 @@ func main() {
 	}
 	fmt.Printf("\nscenario rows under %s, checkpoints under %s — re-run me: zero scenarios re-execute\n",
 		filepath.Join(outDir, "rows"), filepath.Join(outDir, ".cache"))
+
+	// Results as a service: the rows directory just written is already a
+	// queryable model server — cmd/resultsd wraps the same service in a
+	// standalone process; here it runs in-process on a loopback port. The
+	// responses are fitted-model evaluations, so they are as deterministic
+	// as the campaign itself: identical rows, identical bytes.
+	svc, err := repro.NewResultsService(outDir, repro.ResultsServiceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	scenario := svc.Catalog().Scenarios()[0].Name
+	fmt.Printf("\nresultsd over %s (%d scenarios; first: %s):\n",
+		filepath.Join(outDir, "rows"), len(svc.Catalog().Scenarios()), scenario)
+	for _, query := range []string{
+		"/predict?scenario=" + scenario + "&measure=mean_us&q=8000",
+		"/predict?scenario=" + scenario + "&measure=response_us&model=queue&q=8000&lambda=50",
+	} {
+		resp, err := http.Get("http://" + ln.Addr().String() + query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  GET %s\n%s", query, indent(body, "    "))
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Coordinator-free distribution: the same store machinery lets several
 	// independent processes split one grid through lease files. Two
@@ -298,6 +347,15 @@ func st2(dir string) *repro.CheckpointStore {
 		log.Fatal(err)
 	}
 	return st
+}
+
+// indent prefixes every line of a response body for the demo printout.
+func indent(body []byte, prefix string) string {
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // trendBytes renders a worker's grid points as the trend CSV, the bytes

@@ -50,6 +50,17 @@ func TestObscaptureFixture(t *testing.T) {
 	}
 }
 
+func TestPkgdocFixture(t *testing.T) {
+	diags := runFixture(t, Pkgdoc, filepath.Join("pkgdoc", "a"))
+	if got := countSuppressed(diags); got < 1 {
+		t.Errorf("pkgdoc fixture: want at least 1 suppressed diagnostic (package sub), got %d", got)
+	}
+}
+
+func TestPkgdocClean(t *testing.T) {
+	runFixture(t, Pkgdoc, filepath.Join("pkgdoc", "clean"))
+}
+
 // TestRepoClean is the gate the CI lint job enforces, as a unit test:
 // the repository itself must carry zero unsuppressed diagnostics from
 // the full suite. Every allowed finding stays visible in -json output.

@@ -1,4 +1,4 @@
-// Package lint is repolint's static-analysis engine: five custom
+// Package lint is repolint's static-analysis engine: six custom
 // analyzers that enforce, at build time, the determinism invariants the
 // rest of the repository proves at run time with golden tests.
 //
@@ -8,7 +8,9 @@
 // deterministic paths, no unsorted map iteration feeding sinks or
 // hashes, %#v-pinned structs whose GoString shims cover every field, no
 // mutex held across lease I/O, obs instruments captured at
-// construction). Violations used to surface only when a golden test
+// construction, a package doc comment on every package so the written
+// API contract stays anchored in the source). Violations used to
+// surface only when a golden test
 // caught changed bytes; the analyzers here catch them before the code
 // runs.
 //

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Pkgdoc flags packages without a package doc comment. Every package in
+// this repository — internal layers included — is expected to open with
+// a real "// Package foo ..." (or "// Command foo ..." for mains)
+// comment stating its role and its invariants; the doc.go overview and
+// the API contract in docs/ lean on those comments staying present. A
+// package is documented when any one of its files carries a doc comment
+// on the package clause; the diagnostic points at the first file (by
+// name) of an undocumented package.
+var Pkgdoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "flags packages lacking a package doc comment on any file",
+	Run:  runPkgdoc,
+}
+
+func runPkgdoc(p *Pass) error {
+	if len(p.Files) == 0 {
+		return nil
+	}
+	var first *ast.File
+	var firstName string
+	for _, f := range p.Files {
+		if hasPkgDoc(f) {
+			return nil
+		}
+		name := p.Fset.Position(f.Package).Filename
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	// Report on the package clause, deterministically in the
+	// alphabetically first file.
+	p.Reportf(first.Package, "package %s has no package doc comment; document it in one file (// Package %s ... states the package's role and invariants)",
+		first.Name.Name, first.Name.Name)
+	return nil
+}
+
+// hasPkgDoc reports whether f carries a real package doc comment.
+// Machine directives (//go:build, //repolint:allow ...) that the parser
+// attaches to the package clause do not count as documentation.
+func hasPkgDoc(f *ast.File) bool {
+	if f.Doc == nil {
+		return false
+	}
+	for _, c := range f.Doc.List {
+		text := c.Text
+		if strings.HasPrefix(text, "//go:") || strings.HasPrefix(text, directivePrefix) {
+			continue
+		}
+		if strings.Trim(text, "/* \t") != "" {
+			return true
+		}
+	}
+	return false
+}

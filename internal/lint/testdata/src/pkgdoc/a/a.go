@@ -1,0 +1,3 @@
+package a // want "package a has no package doc comment"
+
+func A() int { return 1 }

@@ -1,0 +1,6 @@
+package a
+
+// B is documented, but the package itself is not: declaration docs do
+// not substitute for a package clause doc comment. Only the
+// alphabetically first file (a.go) carries the diagnostic.
+func B() int { return 2 }

@@ -1,0 +1,3 @@
+package sub //repolint:allow pkgdoc -- fixture: proves the directive suppresses the package-doc diagnostic
+
+func Sub() int { return 3 }

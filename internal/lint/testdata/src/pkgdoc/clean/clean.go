@@ -1,0 +1,6 @@
+// Package clean is documented, so pkgdoc stays silent. The doc comment
+// may live in any one file of the package; extra.go has none and that
+// is fine.
+package clean
+
+func Clean() int { return 1 }

@@ -1,0 +1,5 @@
+// Command cmd shows the main-package doc style; it counts as a package
+// doc comment like any other.
+package main
+
+func main() {}

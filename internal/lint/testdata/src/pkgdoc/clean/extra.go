@@ -1,0 +1,3 @@
+package clean
+
+func Extra() int { return 2 }

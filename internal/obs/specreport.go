@@ -9,19 +9,20 @@ package obs
 // behind, with no re-execution.
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/results"
 )
 
 // SpecShardPrefix is the file-name prefix of a speculation telemetry
-// shard: the harness emits them under keys "spec/<job>", which the CSV
-// shard sink sanitizes to "spec_<job>-<hash>.csv".
+// shard: the harness emits them under keys "spec/<job>", which a shard
+// sink sanitizes to "spec_<job>-<hash>.csv" (or ".bin" under a binary
+// sink).
 const SpecShardPrefix = "spec_"
 
 // SpecScenario is one scenario's parsed speculation telemetry row.
@@ -47,14 +48,30 @@ type SpecScenario struct {
 }
 
 // ReadSpecShards parses every speculation shard under a campaign's rows
-// directory into one SpecScenario per data row. Shards written before the
-// window telemetry existed parse with those columns zero; files matching
-// the prefix that are not valid CSV fail loudly rather than vanish from
-// the report.
+// directory into one SpecScenario per data row. Both shard formats are
+// read — CSV and the binary row format a BinShardSink writes — and when
+// one scenario has a shard in each (a teed campaign), only the binary
+// one is parsed. Shards written before the window telemetry existed
+// parse with those columns zero; files matching the prefix that are not
+// valid shards fail loudly rather than vanish from the report.
 func ReadSpecShards(dir string) ([]SpecScenario, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, SpecShardPrefix+"*.csv"))
+	csvPaths, err := filepath.Glob(filepath.Join(dir, SpecShardPrefix+"*.csv"))
 	if err != nil {
 		return nil, err
+	}
+	binPaths, err := filepath.Glob(filepath.Join(dir, SpecShardPrefix+"*.bin"))
+	if err != nil {
+		return nil, err
+	}
+	hasBin := map[string]bool{}
+	for _, p := range binPaths {
+		hasBin[strings.TrimSuffix(p, ".bin")] = true
+	}
+	paths := binPaths
+	for _, p := range csvPaths {
+		if !hasBin[strings.TrimSuffix(p, ".csv")] {
+			paths = append(paths, p)
+		}
 	}
 	sort.Strings(paths)
 	var out []SpecScenario
@@ -71,7 +88,8 @@ func ReadSpecShards(dir string) ([]SpecScenario, error) {
 // specShardScenario recovers the scenario name from a shard file name:
 // "spec_states_opt_r0-1a2b3c4d.csv" -> "states_opt_r0".
 func specShardScenario(path string) string {
-	name := strings.TrimSuffix(filepath.Base(path), ".csv")
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
 	name = strings.TrimPrefix(name, SpecShardPrefix)
 	// The sink appends "-<8 hex>" whenever sanitization changed the key,
 	// which it always did for "spec/..." keys (the slash).
@@ -84,39 +102,42 @@ func specShardScenario(path string) string {
 }
 
 func readSpecShard(path string) ([]SpecScenario, error) {
-	f, err := os.Open(path)
+	rows, err := results.ReadRowsFile(path)
 	if err != nil {
 		return nil, err
-	}
-	defer f.Close()
-	rd := csv.NewReader(f)
-	records, err := rd.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(records) < 2 {
-		return nil, nil // header only, or empty: nothing to report
-	}
-	col := map[string]int{}
-	for i, name := range records[0] {
-		col[name] = i
 	}
 	scenario := specShardScenario(path)
 	var out []SpecScenario
-	for _, rec := range records[1:] {
-		str := func(name string) string {
-			if i, ok := col[name]; ok && i < len(rec) {
-				return rec[i]
+	for _, row := range rows {
+		field := func(name string) any {
+			for _, f := range row {
+				if f.Name == name {
+					return f.Value
+				}
 			}
-			return ""
+			return nil
+		}
+		str := func(name string) string {
+			s, _ := field(name).(string)
+			return s
 		}
 		num := func(name string) int64 {
-			v, _ := strconv.ParseInt(str(name), 10, 64)
-			return v
+			switch v := field(name).(type) {
+			case int64:
+				return v
+			case float64:
+				return int64(v)
+			}
+			return 0
 		}
 		flt := func(name string) float64 {
-			v, _ := strconv.ParseFloat(str(name), 64)
-			return v
+			switch v := field(name).(type) {
+			case float64:
+				return v
+			case int64:
+				return float64(v)
+			}
+			return 0
 		}
 		out = append(out, SpecScenario{
 			Scenario:          scenario,

@@ -1,0 +1,262 @@
+package results
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary row shards: a compact, length-prefixed, byte-deterministic
+// encoding of the same rows the CSV shards carry, so serving and replay
+// are bandwidth-bound instead of parse-bound. The format:
+//
+//	header   magic "RRBS" + one version byte (currently 1)
+//	row      uvarint body length, then the body:
+//	  body   uvarint field count, then per field:
+//	    uvarint name length, name bytes
+//	    1 tag byte, value:
+//	      1 int     zigzag varint (int and int64 collapse here, as both
+//	                render identically in CSV)
+//	      2 float64 8 bytes, IEEE 754 bits little-endian
+//	      3 string  uvarint length + bytes (fmt.Stringer and any other
+//	                value type are rendered through the CSV formatter
+//	                first, so the two formats agree on every byte)
+//	      4 bool    1 byte, 0 or 1
+//
+// The row-level length prefix lets a reader skip rows without decoding
+// fields and makes truncation detectable: a body shorter than its prefix
+// is an error, never a silently short row. Encoding is a pure function of
+// the rows — no timestamps, no padding, no map iteration — so a shard
+// written twice from the same rows is byte-identical, and a binary shard
+// decoded and re-encoded as CSV reproduces the sibling CSV shard byte for
+// byte.
+
+const (
+	// binMagic opens every binary row shard.
+	binMagic = "RRBS"
+	// binVersion is the current format version, the byte after the magic.
+	binVersion = 1
+
+	binTagInt    = 1
+	binTagFloat  = 2
+	binTagString = 3
+	binTagBool   = 4
+
+	// maxBinRowLen bounds a row body so a corrupt length prefix fails
+	// immediately instead of attempting a giant allocation.
+	maxBinRowLen = 1 << 26
+)
+
+// BinEncoder writes rows in the binary shard format. Like CSVEncoder,
+// the file header (magic + version) is written before the first row;
+// HeaderDone/SetHeaderDone carry that state across a shard sink's append
+// reopens.
+type BinEncoder struct {
+	w      io.Writer
+	header bool
+	buf    []byte
+}
+
+// NewBinEncoder returns an encoder writing to w.
+func NewBinEncoder(w io.Writer) *BinEncoder {
+	return &BinEncoder{w: w}
+}
+
+// HeaderDone reports whether the magic+version header has been written.
+func (e *BinEncoder) HeaderDone() bool { return e.header }
+
+// SetHeaderDone overrides the header state (used by shard sinks when
+// reopening an existing file in append mode).
+func (e *BinEncoder) SetHeaderDone(done bool) { e.header = done }
+
+// Encode writes one row (preceded by the header if this is the first).
+func (e *BinEncoder) Encode(row Row) error {
+	if !e.header {
+		if _, err := io.WriteString(e.w, binMagic); err != nil {
+			return err
+		}
+		if _, err := e.w.Write([]byte{binVersion}); err != nil {
+			return err
+		}
+		e.header = true
+	}
+	body := e.buf[:0]
+	body = binary.AppendUvarint(body, uint64(len(row)))
+	for _, f := range row {
+		body = binary.AppendUvarint(body, uint64(len(f.Name)))
+		body = append(body, f.Name...)
+		body = appendBinValue(body, f.Value)
+	}
+	e.buf = body
+	var pre [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pre[:], uint64(len(body)))
+	if _, err := e.w.Write(pre[:n]); err != nil {
+		return err
+	}
+	_, err := e.w.Write(body)
+	return err
+}
+
+// appendBinValue encodes one field value. The type partition mirrors
+// formatValue's: anything that is not an int, float64 or bool is carried
+// as the string CSV would have written, so decode+re-encode round-trips
+// between the two formats byte for byte.
+func appendBinValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case int:
+		b = append(b, binTagInt)
+		return binary.AppendVarint(b, int64(x))
+	case int64:
+		b = append(b, binTagInt)
+		return binary.AppendVarint(b, x)
+	case float64:
+		b = append(b, binTagFloat)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	case bool:
+		b = append(b, binTagBool)
+		if x {
+			return append(b, 1)
+		}
+		return append(b, 0)
+	default:
+		s := formatValue(v)
+		b = append(b, binTagString)
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		return append(b, s...)
+	}
+}
+
+// BinReader reads rows from a binary shard. Integers decode as int64,
+// floats as float64, booleans as bool and everything else as string — the
+// exact value set the CSV side renders, so a decoded row re-encodes
+// identically in either format.
+type BinReader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewBinReader validates the shard header and returns a reader positioned
+// at the first row.
+func NewBinReader(r io.Reader) (*BinReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(binMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("results: binary shard header: %w", err)
+	}
+	if string(head[:len(binMagic)]) != binMagic {
+		return nil, fmt.Errorf("results: not a binary row shard (bad magic %q)", head[:len(binMagic)])
+	}
+	if head[len(binMagic)] != binVersion {
+		return nil, fmt.Errorf("results: binary shard version %d, reader supports %d", head[len(binMagic)], binVersion)
+	}
+	return &BinReader{br: br}, nil
+}
+
+// Next returns the next row, or io.EOF at a clean end of the shard. A
+// shard that ends mid-row (truncated write, corrupt length) is an error,
+// never a short row.
+func (r *BinReader) Next() (Row, error) {
+	length, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("results: binary shard row length: %w", err)
+	}
+	if length > maxBinRowLen {
+		return nil, fmt.Errorf("results: binary shard row length %d exceeds limit %d (corrupt shard?)", length, maxBinRowLen)
+	}
+	if uint64(cap(r.buf)) < length {
+		r.buf = make([]byte, length)
+	}
+	body := r.buf[:length]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return nil, fmt.Errorf("results: binary shard truncated mid-row: %w", err)
+	}
+	return decodeBinRow(body)
+}
+
+// decodeBinRow parses one row body.
+func decodeBinRow(body []byte) (Row, error) {
+	nf, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("results: binary shard: bad field count")
+	}
+	body = body[n:]
+	if nf > uint64(len(body)) {
+		return nil, fmt.Errorf("results: binary shard: field count %d exceeds row body", nf)
+	}
+	row := make(Row, 0, nf)
+	for i := uint64(0); i < nf; i++ {
+		nameLen, n := binary.Uvarint(body)
+		if n <= 0 || nameLen > uint64(len(body)-n) {
+			return nil, fmt.Errorf("results: binary shard: bad field name length")
+		}
+		body = body[n:]
+		name := string(body[:nameLen])
+		body = body[nameLen:]
+		if len(body) == 0 {
+			return nil, fmt.Errorf("results: binary shard: field %q missing value tag", name)
+		}
+		tag := body[0]
+		body = body[1:]
+		var value any
+		switch tag {
+		case binTagInt:
+			v, n := binary.Varint(body)
+			if n <= 0 {
+				return nil, fmt.Errorf("results: binary shard: field %q: bad varint", name)
+			}
+			body = body[n:]
+			value = v
+		case binTagFloat:
+			if len(body) < 8 {
+				return nil, fmt.Errorf("results: binary shard: field %q: short float", name)
+			}
+			value = math.Float64frombits(binary.LittleEndian.Uint64(body))
+			body = body[8:]
+		case binTagString:
+			sl, n := binary.Uvarint(body)
+			if n <= 0 || sl > uint64(len(body)-n) {
+				return nil, fmt.Errorf("results: binary shard: field %q: bad string length", name)
+			}
+			body = body[n:]
+			value = string(body[:sl])
+			body = body[sl:]
+		case binTagBool:
+			if len(body) < 1 {
+				return nil, fmt.Errorf("results: binary shard: field %q: short bool", name)
+			}
+			value = body[0] != 0
+			body = body[1:]
+		default:
+			return nil, fmt.Errorf("results: binary shard: field %q: unknown tag %d", name, tag)
+		}
+		row = append(row, Field{Name: name, Value: value})
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("results: binary shard: %d trailing bytes after row", len(body))
+	}
+	return row, nil
+}
+
+// ReadBinRows reads a whole binary shard into memory.
+func ReadBinRows(r io.Reader) ([]Row, error) {
+	br, err := NewBinReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for {
+		row, err := br.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+}

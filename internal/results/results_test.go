@@ -210,14 +210,14 @@ func TestCSVShardSinkConcurrentMatchesSerial(t *testing.T) {
 func TestShardFileNamesDistinctAfterSanitization(t *testing.T) {
 	// "p3/eth" and "p3_eth" sanitize to the same base name; the FNV suffix
 	// must keep their shards apart.
-	a, b := shardFile("p3/eth"), shardFile("p3_eth")
+	a, b := shardFile("p3/eth", ".csv"), shardFile("p3_eth", ".csv")
 	if a == b {
 		t.Errorf("colliding shard files %q", a)
 	}
 	if strings.ContainsAny(a, "/\\") {
 		t.Errorf("shard file %q not sanitized", a)
 	}
-	if got := shardFile("plain-key_1.0"); got != "plain-key_1.0.csv" {
+	if got := shardFile("plain-key_1.0", ".csv"); got != "plain-key_1.0.csv" {
 		t.Errorf("clean key renamed to %q", got)
 	}
 }

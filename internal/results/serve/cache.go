@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/results"
+)
+
+// DefaultCacheCap is the number of decoded-and-fitted scenarios the
+// read-through cache keeps resident when Options does not override it.
+// An entry is a few fitted coefficients plus group statistics — small —
+// but the bound keeps a scan over a huge campaign from pinning every
+// shard's models at once.
+const DefaultCacheCap = 256
+
+// entry is one cached scenario: the decoded row count and every fitted
+// backend. Entries are immutable after load; concurrent queries share
+// them freely.
+type entry struct {
+	sc       *Scenario
+	rows     int
+	backends map[string]PerformanceModel
+}
+
+// modelCache is the read-through cache in front of shard decoding and
+// model fitting. Lookups are LRU; concurrent misses on the same scenario
+// are deduplicated singleflight-style so a shard is decoded once no
+// matter how many queries race for it. Hits, misses, evictions and load
+// latency go to the obs registry; instruments are captured at
+// construction per the obscapture rule.
+type modelCache struct {
+	cap   int
+	track *obs.Track
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used; values are *entry
+	byName   map[string]*list.Element
+	inflight map[string]*flight
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	loadUS    *obs.Histogram
+}
+
+// flight is one in-progress load shared by every query that missed on
+// the same scenario while it was loading.
+type flight struct {
+	done chan struct{}
+	e    *entry
+	err  error
+}
+
+func newModelCache(capacity int, o *obs.Observer) *modelCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	reg := o.Metrics()
+	return &modelCache{
+		cap:       capacity,
+		track:     o.Tracer().Track("resultsd", "cache"),
+		lru:       list.New(),
+		byName:    map[string]*list.Element{},
+		inflight:  map[string]*flight{},
+		hits:      reg.Counter("resultsd_cache_hits_total"),
+		misses:    reg.Counter("resultsd_cache_misses_total"),
+		evictions: reg.Counter("resultsd_cache_evictions_total"),
+		loadUS:    reg.Histogram("resultsd_scenario_load_us", obs.LatencyBucketsUS),
+	}
+}
+
+// get returns the scenario's cached entry, loading (decode + fit) on
+// first use. Every concurrent miss for one scenario waits on a single
+// load; each waiter still counts as a miss (the counters measure lookup
+// outcomes, not disk reads — the load histogram counts actual decodes).
+//
+//repolint:allow wallclock -- cache load latency is wall-clock observability; nothing downstream consumes it
+func (c *modelCache) get(sc *Scenario) (*entry, error) {
+	c.mu.Lock()
+	if el, ok := c.byName[sc.Name]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return el.Value.(*entry), nil
+	}
+	c.misses.Inc()
+	if fl, ok := c.inflight[sc.Name]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.e, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[sc.Name] = fl
+	c.mu.Unlock()
+
+	span := c.track.Begin("cache", "load")
+	start := time.Now()
+	fl.e, fl.err = loadEntry(sc)
+	c.loadUS.Observe(float64(time.Since(start).Microseconds()))
+	span.End(obs.Arg{Name: "scenario", Value: sc.Name}, obs.Arg{Name: "ok", Value: fl.err == nil})
+
+	c.mu.Lock()
+	delete(c.inflight, sc.Name)
+	if fl.err == nil {
+		c.byName[sc.Name] = c.lru.PushFront(fl.e)
+		for c.lru.Len() > c.cap {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.byName, old.Value.(*entry).sc.Name)
+			c.evictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.e, fl.err
+}
+
+// loadEntry decodes a scenario's shard (either format) and fits every
+// backend.
+func loadEntry(sc *Scenario) (*entry, error) {
+	rows, err := results.ReadRowsFile(sc.File)
+	if err != nil {
+		return nil, err
+	}
+	backends, err := buildBackends(sc.Name, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{sc: sc, rows: len(rows), backends: backends}, nil
+}
+
+// len returns the resident entry count (test hook).
+func (c *modelCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

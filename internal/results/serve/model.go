@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/perfmodel"
+	"repro/internal/results"
+)
+
+// The row fields a scenario shard must carry to be modeled: the sweep
+// harness emits one row per kernel invocation with the array size, the
+// measured wall time and (when the platform counters were on) the L2
+// data-cache-miss delta.
+const (
+	fieldQ    = "q"
+	fieldWall = "wall_us"
+	fieldDCM  = "l2_dcm"
+)
+
+// Measure names one predictable quantity. The two backends support
+// overlapping but distinct subsets — Measures() on a model lists its
+// own.
+type Measure string
+
+// The measures the built-in backends answer.
+const (
+	// MeasureMeanUS is the expected wall time of one invocation at Q,
+	// microseconds.
+	MeasureMeanUS Measure = "mean_us"
+	// MeasureSigmaUS is the fitted standard deviation of the wall time
+	// at Q, microseconds (the paper's error-bar model).
+	MeasureSigmaUS Measure = "sigma_us"
+	// MeasureThroughput is invocations per second: back-to-back
+	// completion rate for the fitted backend, carried load for the
+	// queueing backend.
+	MeasureThroughput Measure = "throughput_per_s"
+	// MeasureResponseUS is the open-system response time at arrival
+	// rate lambda, microseconds (queue backend only).
+	MeasureResponseUS Measure = "response_us"
+	// MeasureUtilization is the offered load rho = lambda * service
+	// demand (queue backend only).
+	MeasureUtilization Measure = "utilization"
+)
+
+// Point is a prediction coordinate: the array size Q, the open-system
+// arrival rate Lambda (requests per second, used by the queue measures)
+// and optionally a cache-miss count for the multivariate fitted model.
+type Point struct {
+	Q      float64
+	Lambda float64
+	DCM    float64
+	HasDCM bool
+}
+
+// Coefficient is one named fitted parameter, grouped by the submodel it
+// belongs to ("mean", "sigma", "multi", "service_us").
+type Coefficient struct {
+	Model string  `json:"model"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// PerformanceModel answers predictions for one scenario. Implementations
+// are immutable once built — the cache shares one instance across
+// concurrent queries.
+type PerformanceModel interface {
+	// Backend names the implementation ("fitted", "queue").
+	Backend() string
+	// Measures lists what this backend can predict, in a fixed order.
+	Measures() []Measure
+	// Predict evaluates a measure at a point. Unsupported measures and
+	// out-of-domain points (e.g. a saturated queue) return errors.
+	Predict(m Measure, at Point) (float64, error)
+	// Coefficients returns every fitted parameter, deterministically
+	// ordered — the trend endpoint's raw material.
+	Coefficients() []Coefficient
+	// Describe renders the model in the paper's equation style.
+	Describe() string
+}
+
+// backendNames lists the built-in backends in serving order; "fitted" is
+// the default when a query names none.
+var backendNames = []string{"fitted", "queue"}
+
+// buildBackends fits every backend for one decoded scenario. A backend
+// that cannot be built from the rows (too few distinct Q values, say) is
+// reported, not silently dropped: the scenario is unservable.
+func buildBackends(name string, rows []results.Row) (map[string]PerformanceModel, error) {
+	q, wall, dcm, hasDCM := modelSeries(rows)
+	if len(q) == 0 {
+		return nil, fmt.Errorf("serve: scenario %s has no rows with %q and %q fields", name, fieldQ, fieldWall)
+	}
+	stats := perfmodel.GroupStats(q, wall)
+	if len(stats) < 2 {
+		return nil, fmt.Errorf("serve: scenario %s has %d distinct %s value(s); need at least 2 to fit", name, len(stats), fieldQ)
+	}
+	f, err := buildFitted(q, wall, dcm, hasDCM, stats)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scenario %s: %w", name, err)
+	}
+	return map[string]PerformanceModel{
+		"fitted": f,
+		"queue":  buildQueue(stats),
+	}, nil
+}
+
+// modelSeries extracts the modeling series from decoded rows. Rows
+// missing either Q or the wall time are skipped; the cache-miss series is
+// only kept when every used row carries it (a partial counter column
+// cannot feed one regression).
+func modelSeries(rows []results.Row) (q, wall, dcm []float64, hasDCM bool) {
+	hasDCM = true
+	for _, row := range rows {
+		qv, qok := numericField(row, fieldQ)
+		wv, wok := numericField(row, fieldWall)
+		if !qok || !wok {
+			continue
+		}
+		q = append(q, qv)
+		wall = append(wall, wv)
+		if dv, ok := numericField(row, fieldDCM); ok {
+			dcm = append(dcm, dv)
+		} else {
+			hasDCM = false
+		}
+	}
+	if len(dcm) != len(q) {
+		hasDCM = false
+	}
+	if !hasDCM {
+		dcm = nil
+	}
+	return q, wall, dcm, hasDCM
+}
+
+// numericField returns a row field as float64. Decoded shards carry
+// int64 (both formats), float64, and int (in-memory rows).
+func numericField(row results.Row, name string) (float64, bool) {
+	for _, f := range row {
+		if f.Name != name {
+			continue
+		}
+		switch v := f.Value.(type) {
+		case float64:
+			return v, true
+		case int64:
+			return float64(v), true
+		case int:
+			return float64(v), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// fitCandidates fits the paper's model family on (x, y) and returns the
+// AIC-best: degree-1 and degree-2 polynomials and the power law (Eqs.
+// 1-2). At least the linear fit always succeeds given 2+ distinct points.
+func fitCandidates(x, y []float64) (perfmodel.Model, error) {
+	var cands []perfmodel.Model
+	if lin, err := perfmodel.LinFit(x, y); err == nil {
+		cands = append(cands, lin)
+	}
+	if len(x) >= 3 {
+		if p2, err := perfmodel.PolyFit(x, y, 2); err == nil {
+			cands = append(cands, p2)
+		}
+	}
+	if pl, err := perfmodel.PowerLawFit(x, y); err == nil {
+		cands = append(cands, pl)
+	}
+	best := perfmodel.SelectBest(cands, x, y)
+	if best == nil {
+		return nil, fmt.Errorf("no model candidate fits %d grouped points", len(x))
+	}
+	return best, nil
+}
+
+// fitted is the regression backend: the AIC-best univariate mean and
+// sigma models over grouped statistics, plus a multilinear model over
+// (Q, DCM) when the cache-miss telemetry is present in every row.
+type fitted struct {
+	mean    perfmodel.Model
+	sigma   perfmodel.Model
+	meanR2  float64
+	sigmaR2 float64
+	multi   *perfmodel.MultiLin
+	multiR2 float64
+	n       int
+	qMin    float64
+	qMax    float64
+}
+
+func buildFitted(q, wall, dcm []float64, hasDCM bool, stats []perfmodel.GroupStat) (*fitted, error) {
+	gq, gmean := perfmodel.MeanSeries(stats)
+	_, gsd := perfmodel.StdDevSeries(stats)
+	mean, err := fitCandidates(gq, gmean)
+	if err != nil {
+		return nil, fmt.Errorf("mean fit: %w", err)
+	}
+	sigma, err := fitCandidates(gq, gsd)
+	if err != nil {
+		return nil, fmt.Errorf("sigma fit: %w", err)
+	}
+	f := &fitted{
+		mean:    mean,
+		sigma:   sigma,
+		meanR2:  perfmodel.R2(mean, gq, gmean),
+		sigmaR2: perfmodel.R2(sigma, gq, gsd),
+		n:       len(q),
+		qMin:    gq[0],
+		qMax:    gq[len(gq)-1],
+	}
+	if hasDCM && len(q) >= 3 {
+		feats := make([][]float64, len(q))
+		for i := range q {
+			feats[i] = []float64{q[i], dcm[i]}
+		}
+		if ml, err := perfmodel.MultiLinFit([]string{"Q", "DCM"}, feats, wall); err == nil {
+			f.multi = &ml
+			f.multiR2 = perfmodel.R2Multi(ml, feats, wall)
+		}
+	}
+	return f, nil
+}
+
+func (f *fitted) Backend() string { return "fitted" }
+
+func (f *fitted) Measures() []Measure {
+	return []Measure{MeasureMeanUS, MeasureSigmaUS, MeasureThroughput}
+}
+
+func (f *fitted) Predict(m Measure, at Point) (float64, error) {
+	switch m {
+	case MeasureMeanUS:
+		if at.HasDCM && f.multi != nil {
+			return f.multi.PredictVec([]float64{at.Q, at.DCM}), nil
+		}
+		return f.mean.Predict(at.Q), nil
+	case MeasureSigmaUS:
+		return f.sigma.Predict(at.Q), nil
+	case MeasureThroughput:
+		mean, err := f.Predict(MeasureMeanUS, at)
+		if err != nil {
+			return 0, err
+		}
+		if mean <= 0 {
+			return 0, fmt.Errorf("serve: fitted mean %g us at Q=%g is not positive; no throughput", mean, at.Q)
+		}
+		return 1e6 / mean, nil
+	}
+	return 0, fmt.Errorf("serve: measure %q not supported by the fitted backend (supports mean_us, sigma_us, throughput_per_s)", m)
+}
+
+func (f *fitted) Coefficients() []Coefficient {
+	var out []Coefficient
+	names, values := perfmodel.Coefficients(f.mean)
+	for i := range names {
+		out = append(out, Coefficient{Model: "mean", Name: names[i], Value: values[i]})
+	}
+	names, values = perfmodel.Coefficients(f.sigma)
+	for i := range names {
+		out = append(out, Coefficient{Model: "sigma", Name: names[i], Value: values[i]})
+	}
+	if f.multi != nil {
+		out = append(out, Coefficient{Model: "multi", Name: "c0", Value: f.multi.Coeffs[0]})
+		for i, n := range f.multi.Names {
+			out = append(out, Coefficient{Model: "multi", Name: n, Value: f.multi.Coeffs[i+1]})
+		}
+	}
+	return out
+}
+
+func (f *fitted) Describe() string {
+	s := fmt.Sprintf("mean_us = %s (R2=%.4g); sigma_us = %s (R2=%.4g)",
+		f.mean.String(), f.meanR2, f.sigma.String(), f.sigmaR2)
+	if f.multi != nil {
+		s += fmt.Sprintf("; multi: wall_us = %s (R2=%.4g)", f.multi.String(), f.multiR2)
+	}
+	return s + fmt.Sprintf("; fit over %d rows, Q in [%g, %g]", f.n, f.qMin, f.qMax)
+}
+
+// queue is the closed-form backend: the scenario's grouped mean wall
+// time is the service demand s(Q) of an M/M/1 server (interpolated
+// piecewise-linearly between measured Q values, clamped outside them),
+// and the open-system measures follow from rho = lambda * s(Q):
+// response R = s / (1 - rho), utilization rho, throughput lambda.
+type queue struct {
+	knots []perfmodel.GroupStat
+}
+
+func buildQueue(stats []perfmodel.GroupStat) *queue {
+	return &queue{knots: stats}
+}
+
+// service interpolates the service demand at Q, microseconds.
+func (qm *queue) service(q float64) float64 {
+	k := qm.knots
+	if q <= k[0].Q {
+		return k[0].Mean
+	}
+	if q >= k[len(k)-1].Q {
+		return k[len(k)-1].Mean
+	}
+	i := sort.Search(len(k), func(i int) bool { return k[i].Q >= q })
+	lo, hi := k[i-1], k[i]
+	t := (q - lo.Q) / (hi.Q - lo.Q)
+	return lo.Mean + t*(hi.Mean-lo.Mean)
+}
+
+func (qm *queue) Backend() string { return "queue" }
+
+func (qm *queue) Measures() []Measure {
+	return []Measure{MeasureMeanUS, MeasureResponseUS, MeasureUtilization, MeasureThroughput}
+}
+
+func (qm *queue) Predict(m Measure, at Point) (float64, error) {
+	s := qm.service(at.Q)
+	switch m {
+	case MeasureMeanUS:
+		return s, nil
+	case MeasureUtilization:
+		if at.Lambda <= 0 {
+			return 0, fmt.Errorf("serve: measure %q needs lambda > 0 (arrivals per second)", m)
+		}
+		return at.Lambda * s / 1e6, nil
+	case MeasureResponseUS:
+		rho, err := qm.Predict(MeasureUtilization, at)
+		if err != nil {
+			return 0, err
+		}
+		if rho >= 1 {
+			return 0, fmt.Errorf("serve: queue saturated at Q=%g, lambda=%g: utilization %.4g >= 1", at.Q, at.Lambda, rho)
+		}
+		return s / (1 - rho), nil
+	case MeasureThroughput:
+		if at.Lambda <= 0 {
+			if s <= 0 {
+				return 0, fmt.Errorf("serve: service demand %g us at Q=%g is not positive; no throughput", s, at.Q)
+			}
+			return 1e6 / s, nil // capacity: the saturation rate
+		}
+		rho := at.Lambda * s / 1e6
+		if rho >= 1 {
+			return 0, fmt.Errorf("serve: queue saturated at Q=%g, lambda=%g: utilization %.4g >= 1", at.Q, at.Lambda, rho)
+		}
+		return at.Lambda, nil // stable open system: out = in
+	}
+	return 0, fmt.Errorf("serve: measure %q not supported by the queue backend (supports mean_us, response_us, utilization, throughput_per_s)", m)
+}
+
+func (qm *queue) Coefficients() []Coefficient {
+	out := make([]Coefficient, 0, len(qm.knots))
+	for _, k := range qm.knots {
+		out = append(out, Coefficient{Model: "service_us", Name: fmt.Sprintf("s(%g)", k.Q), Value: k.Mean})
+	}
+	return out
+}
+
+func (qm *queue) Describe() string {
+	k := qm.knots
+	var capPerS float64
+	if m := k[len(k)-1].Mean; m > 0 {
+		capPerS = 1e6 / m
+	}
+	return fmt.Sprintf("M/M/1 over measured service demand: %d knots, Q in [%g, %g], s in [%g, %g] us, capacity at Qmax %.4g/s",
+		len(k), k[0].Q, k[len(k)-1].Q, minMean(k), maxMean(k), capPerS)
+}
+
+func minMean(k []perfmodel.GroupStat) float64 {
+	m := math.Inf(1)
+	for _, s := range k {
+		m = math.Min(m, s.Mean)
+	}
+	return m
+}
+
+func maxMean(k []perfmodel.GroupStat) float64 {
+	m := math.Inf(-1)
+	for _, s := range k {
+		m = math.Max(m, s.Mean)
+	}
+	return m
+}
